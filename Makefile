@@ -1,0 +1,38 @@
+# Convenience targets for the tcast reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench figs lab cover fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at paper-scale trial counts.
+figs:
+	$(GO) run ./cmd/tcastfigs -fig all -out results
+
+# The emulated 12-mote testbed campaign (Fig 4 + error statistics).
+lab:
+	$(GO) run ./cmd/tcastlab
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+fuzz:
+	$(GO) test -fuzz=FuzzThresholdDecision -fuzztime=30s ./internal/core/
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

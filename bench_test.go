@@ -1,0 +1,186 @@
+package tcast
+
+// One benchmark per paper table/figure: each iteration regenerates the
+// experiment's data at reduced trial counts (the CLI `tcastfigs` runs the
+// paper-scale versions). Micro-benchmarks for the primitives follow.
+
+import (
+	"testing"
+
+	"tcast/internal/baseline"
+	"tcast/internal/bitset"
+	"tcast/internal/core"
+	"tcast/internal/experiment"
+	"tcast/internal/fastsim"
+	"tcast/internal/motelab"
+	"tcast/internal/pollcast"
+	"tcast/internal/query"
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+)
+
+// benchFigure regenerates one registered experiment per iteration.
+func benchFigure(b *testing.B, id string, runs int) {
+	e, err := experiment.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(experiment.Options{Runs: runs, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Series) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)   { benchFigure(b, "fig1", 20) }
+func BenchmarkFig2(b *testing.B)   { benchFigure(b, "fig2", 20) }
+func BenchmarkFig3(b *testing.B)   { benchFigure(b, "fig3", 20) }
+func BenchmarkFig4(b *testing.B)   { benchFigure(b, "fig4", 4) }
+func BenchmarkFig5(b *testing.B)   { benchFigure(b, "fig5", 20) }
+func BenchmarkFig6(b *testing.B)   { benchFigure(b, "fig6", 20) }
+func BenchmarkFig7(b *testing.B)   { benchFigure(b, "fig7", 20) }
+func BenchmarkFig8(b *testing.B)   { benchFigure(b, "fig8", 1) }
+func BenchmarkFig9(b *testing.B)   { benchFigure(b, "fig9", 20) }
+func BenchmarkFig10(b *testing.B)  { benchFigure(b, "fig10", 1) }
+func BenchmarkFig11(b *testing.B)  { benchFigure(b, "fig11", 20) }
+func BenchmarkTabErr(b *testing.B) { benchFigure(b, "tab-err", 4) }
+
+func BenchmarkAblationCapture(b *testing.B)  { benchFigure(b, "abl-capture", 10) }
+func BenchmarkAblationVariants(b *testing.B) { benchFigure(b, "abl-variants", 10) }
+
+func BenchmarkExtEnergy(b *testing.B)   { benchFigure(b, "ext-energy", 10) }
+func BenchmarkExtBattery(b *testing.B)  { benchFigure(b, "ext-battery", 10) }
+func BenchmarkExtTime(b *testing.B)     { benchFigure(b, "ext-time", 10) }
+func BenchmarkExtMultihop(b *testing.B) { benchFigure(b, "ext-multihop", 2) }
+func BenchmarkExtCount(b *testing.B)    { benchFigure(b, "ext-count", 10) }
+func BenchmarkExtKPlus(b *testing.B)    { benchFigure(b, "ext-kplus", 10) }
+
+// --- primitive micro-benchmarks ---
+
+func benchAlgorithm(b *testing.B, alg core.Algorithm, n, t, x int, cfg fastsim.Config) {
+	root := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := root.Split(uint64(i))
+		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		if _, err := alg.Run(ch, n, t, r.Split(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery2tBins(b *testing.B) {
+	benchAlgorithm(b, core.TwoTBins{}, 128, 16, 16, fastsim.DefaultConfig())
+}
+
+func BenchmarkQuery2tBinsTwoPlus(b *testing.B) {
+	benchAlgorithm(b, core.TwoTBins{}, 128, 16, 16, fastsim.TwoPlusConfig())
+}
+
+func BenchmarkQueryExpIncrease(b *testing.B) {
+	benchAlgorithm(b, core.ExpIncrease{}, 128, 16, 16, fastsim.DefaultConfig())
+}
+
+func BenchmarkQueryABNS(b *testing.B) {
+	benchAlgorithm(b, core.ABNS{P0: 2}, 128, 16, 16, fastsim.DefaultConfig())
+}
+
+func BenchmarkQueryProbABNS(b *testing.B) {
+	benchAlgorithm(b, core.ProbABNS{}, 128, 16, 16, fastsim.DefaultConfig())
+}
+
+func BenchmarkQueryLargeNetwork(b *testing.B) {
+	benchAlgorithm(b, core.ProbABNS{}, 4096, 64, 80, fastsim.DefaultConfig())
+}
+
+func BenchmarkBaselineCSMA(b *testing.B) {
+	root := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := root.Split(uint64(i))
+		pos := bitset.New(128)
+		for _, id := range r.Split(1).Sample(128, 32) {
+			pos.Add(id)
+		}
+		baseline.CSMA{}.Run(128, 16, pos, r.Split(2))
+	}
+}
+
+func BenchmarkBaselineSequential(b *testing.B) {
+	root := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := root.Split(uint64(i))
+		pos := bitset.New(128)
+		for _, id := range r.Split(1).Sample(128, 32) {
+			pos.Add(id)
+		}
+		baseline.Sequential{}.Run(128, 16, pos, r.Split(2))
+	}
+}
+
+// BenchmarkPacketLevel runs 2tBins over the full packet radio (backcast),
+// the abl-packet validation substrate.
+func BenchmarkPacketLevel(b *testing.B) {
+	root := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := root.Split(uint64(i))
+		parts := make([]*pollcast.Participant, 64)
+		for id := range parts {
+			parts[id] = &pollcast.Participant{ID: id}
+		}
+		for _, id := range r.Split(1).Sample(64, 8) {
+			parts[id].Positive = true
+		}
+		med := radio.NewMedium(radio.Config{}, r.Split(2))
+		sess, err := pollcast.NewSession(med, 1<<16, parts, pollcast.Backcast, query.OnePlus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := (core.TwoTBins{}).Run(sess, 64, 8, r.Split(3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMoteTestbed runs one full mote-lab batch per iteration.
+func BenchmarkMoteTestbed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lab, err := motelab.New(motelab.Config{Participants: 12, MissProb: 0.05, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lab.RunBatch(4, 6, 10); err != nil {
+			b.Fatal(err)
+		}
+		lab.Close()
+	}
+}
+
+// BenchmarkDetector measures the O(1) bimodal detector.
+func BenchmarkDetector(b *testing.B) {
+	det, err := NewDetector(128, 8, 2, 96, 4, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var positives []int
+	for i := 0; i < 96; i++ {
+		positives = append(positives, i)
+	}
+	nw, err := NewNetwork(128, positives, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(nw)
+	}
+}

@@ -1,0 +1,109 @@
+// Command tcastfigs regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tcastfigs -fig all                  # every experiment, paper-scale runs
+//	tcastfigs -fig fig1 -runs 200       # one figure, quicker
+//	tcastfigs -fig fig9 -csv            # emit CSV instead of a text table
+//	tcastfigs -fig all -out results/    # write one file per experiment
+//
+// Experiment IDs match DESIGN.md's per-experiment index (fig1..fig11,
+// tab-err, abl-capture, abl-variants).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tcast/internal/experiment"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "experiment ID or 'all'")
+		runs    = flag.Int("runs", 0, "trials per point (0 = paper defaults: 1000 sim, 100 mote)")
+		seed    = flag.Uint64("seed", 2011, "root random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of aligned text")
+		plot    = flag.Bool("plot", false, "append an ASCII chart after each table")
+		ci      = flag.Bool("ci", false, "include 95% confidence-interval columns in text output")
+		out     = flag.String("out", "", "directory to write per-experiment files into (stdout if empty)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []experiment.Experiment
+	if *fig == "all" {
+		exps = experiment.All()
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			e, err := experiment.Get(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	opts := experiment.Options{Runs: *runs, Seed: *seed}
+	for _, e := range exps {
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		var body string
+		switch {
+		case *jsonOut:
+			body, err = experiment.JSON(tab)
+			if err != nil {
+				fatal(err)
+			}
+		case *csv:
+			body = experiment.CSV(tab)
+		case *ci:
+			body = experiment.RenderCI(tab)
+		default:
+			body = experiment.Render(tab)
+		}
+		if *plot && !*jsonOut {
+			body += "\n" + experiment.Plot(tab, 72, 20)
+		}
+		header := fmt.Sprintf("== %s: %s (%.1fs) ==\n", e.ID, e.Title, time.Since(start).Seconds())
+		if *out == "" {
+			fmt.Print(header, body, "\n")
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		ext := ".txt"
+		if *csv {
+			ext = ".csv"
+		}
+		if *jsonOut {
+			ext = ".json"
+		}
+		path := filepath.Join(*out, e.ID+ext)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Print(header, "wrote ", path, "\n")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcastfigs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command tcastmote exposes an emulated testbed over TCP using the serial
+// wire protocol — the shape a hardware-in-the-loop setup would take, with
+// the emulator standing in for a TelosB behind a serial-forwarder.
+//
+// Serve an initiator (with its participant motes emulated in-process):
+//
+//	tcastmote -serve 127.0.0.1:7777 -participants 12 -miss 0.05
+//
+// Then drive it from another terminal as the controller:
+//
+//	tcastmote -connect 127.0.0.1:7777 -t 4 -x 6 -runs 20
+//
+// The controller configures x random positives, stimulates queries over
+// the wire, and prints the graded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"tcast/internal/mote"
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+	"tcast/internal/serial"
+)
+
+func main() {
+	var (
+		serve        = flag.String("serve", "", "listen address for the emulated initiator (serve mode)")
+		connect      = flag.String("connect", "", "initiator address to drive (controller mode)")
+		participants = flag.Int("participants", 12, "participant motes (serve mode)")
+		miss         = flag.Float64("miss", 0.05, "per-HACK-copy loss probability (serve mode)")
+		threshold    = flag.Int("t", 4, "threshold (controller mode)")
+		x            = flag.Int("x", 6, "positives to configure; serve mode honors them via -autoconfig")
+		runs         = flag.Int("runs", 20, "queries to run (controller mode)")
+		seed         = flag.Uint64("seed", 2011, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *serve != "" && *connect == "":
+		if err := runServer(*serve, *participants, *miss, *x, *seed); err != nil {
+			fatal(err)
+		}
+	case *connect != "" && *serve == "":
+		if err := runController(*connect, *threshold, *runs); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("pass exactly one of -serve or -connect"))
+	}
+}
+
+// runServer boots the emulated testbed, configures x random positives
+// locally (the remote protocol only reaches the initiator here), and
+// serves its serial interface to one controller at a time.
+func runServer(addr string, participants int, miss float64, x int, seed uint64) error {
+	if x < 0 || x > participants {
+		return fmt.Errorf("x=%d outside [0,%d]", x, participants)
+	}
+	root := rng.New(seed)
+	med := radio.NewMedium(radio.Config{MissProb: miss}, root.Split(1))
+	parts := make([]*mote.Participant, participants)
+	for i := range parts {
+		parts[i] = mote.NewParticipant(i)
+	}
+	for _, id := range root.Split(3).Sample(participants, x) {
+		parts[id].Configure(true)
+	}
+	ini := mote.NewInitiator(1<<16, med, parts, root.Split(2))
+	defer func() {
+		ini.Close()
+		for _, p := range parts {
+			p.Close()
+		}
+	}()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("emulated initiator on %s: %d participants (%d positive), miss=%.3f\n",
+		ln.Addr(), participants, x, miss)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		fmt.Println("controller connected:", conn.RemoteAddr())
+		if err := serial.ServeInitiator(conn, ini); err != nil {
+			fmt.Fprintln(os.Stderr, "session error:", err)
+		}
+		conn.Close()
+		fmt.Println("controller disconnected")
+	}
+}
+
+// runController drives the remote initiator: configure, query repeatedly,
+// summarize.
+func runController(addr string, threshold, runs int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	c := serial.NewClient(conn)
+
+	if err := c.ConfigureInitiator(threshold); err != nil {
+		return err
+	}
+	trueCount, totalQueries := 0, 0
+	for i := 0; i < runs; i++ {
+		decision, queries, rounds, err := c.Query()
+		if err != nil {
+			return err
+		}
+		totalQueries += queries
+		if decision {
+			trueCount++
+		}
+		fmt.Printf("run %2d: decision=%-5v queries=%-3d rounds=%d\n", i+1, decision, queries, rounds)
+	}
+	fmt.Printf("\n%d/%d runs answered true (t=%d); %.1f queries per run\n",
+		trueCount, runs, threshold, float64(totalQueries)/float64(runs))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcastmote:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Command tcastsim runs ad-hoc threshold-query simulations: pick a
+// network size, ground truth and algorithm, and see the decision and cost.
+//
+// Usage:
+//
+//	tcastsim -n 128 -t 16 -x 20 -alg 2tbins -runs 1000
+//	tcastsim -n 128 -t 16 -x 20 -alg probabns -model 2+
+//	tcastsim -n 32  -t 8  -x 12 -alg csma
+//
+// Algorithms: 2tbins, exp, abns-t, abns-2t, probabns, oracle, csma, seq.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcast/internal/baseline"
+	"tcast/internal/bitset"
+	"tcast/internal/core"
+	"tcast/internal/experiment"
+	"tcast/internal/fastsim"
+	"tcast/internal/rng"
+	"tcast/internal/stats"
+	"tcast/internal/trace"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 128, "participant nodes")
+		t     = flag.Int("t", 16, "threshold")
+		x     = flag.Int("x", 8, "ground-truth positive nodes")
+		alg   = flag.String("alg", "2tbins", "algorithm: 2tbins | exp | abns-t | abns-2t | probabns | oracle | csma | seq")
+		model = flag.String("model", "1+", "collision model: 1+ | 2+")
+		runs  = flag.Int("runs", 1000, "number of trials")
+		seed  = flag.Uint64("seed", 2011, "root random seed")
+		miss  = flag.Float64("miss", 0, "per-reply miss probability (radio irregularity)")
+		dump  = flag.Bool("trace", false, "print a poll-by-poll trace of one session before the sweep")
+	)
+	flag.Parse()
+	if *x < 0 || *x > *n {
+		fatal(fmt.Errorf("x=%d outside [0,%d]", *x, *n))
+	}
+
+	cfg := fastsim.DefaultConfig()
+	if *model == "2+" {
+		cfg = fastsim.TwoPlusConfig()
+	} else if *model != "1+" {
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+	cfg.MissProb = *miss
+
+	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		if err := printTrace(*alg, *n, *t, *x, cfg, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	values, err := experiment.RunTrials(*runs, 0, rng.New(*seed), trial)
+	if err != nil {
+		fatal(err)
+	}
+	var acc stats.Running
+	for _, v := range values {
+		acc.Observe(v)
+	}
+	fmt.Printf("%s  n=%d t=%d x=%d model=%s runs=%d\n", name, *n, *t, *x, *model, *runs)
+	fmt.Printf("ground truth: x >= t is %v\n", *x >= *t)
+	fmt.Printf("mean cost: %.2f queries/slots (95%% CI ±%.2f, min %.0f, max %.0f)\n",
+		acc.Mean(), acc.CI95(), acc.Min(), acc.Max())
+	fmt.Printf("quantiles: p50=%.0f p90=%.0f p99=%.0f\n",
+		stats.Quantile(values, 0.5), stats.Quantile(values, 0.9), stats.Quantile(values, 0.99))
+}
+
+// buildTrial returns a per-trial cost function for the selected scheme.
+func buildTrial(alg string, n, t, x int, cfg fastsim.Config) (func(r *rng.Source) (float64, error), string, error) {
+	baselineTrial := func(run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(r *rng.Source) (float64, error) {
+		return func(r *rng.Source) (float64, error) {
+			pos := bitset.New(n)
+			for _, id := range r.Split(1).Sample(n, x) {
+				pos.Add(id)
+			}
+			res := run(n, t, pos, r.Split(2))
+			return float64(res.Slots), nil
+		}
+	}
+	var fac func(ch *fastsim.Channel) core.Algorithm
+	var name string
+	switch alg {
+	case "2tbins":
+		fac, name = plain(core.TwoTBins{}), "2tBins"
+	case "exp":
+		fac, name = plain(core.ExpIncrease{}), "ExpIncrease"
+	case "abns-t":
+		fac, name = plain(core.ABNS{P0: 1}), "ABNS(p0=t)"
+	case "abns-2t":
+		fac, name = plain(core.ABNS{P0: 2}), "ABNS(p0=2t)"
+	case "probabns":
+		fac, name = plain(core.ProbABNS{}), "ProbABNS"
+	case "oracle":
+		fac, name = func(ch *fastsim.Channel) core.Algorithm { return core.Oracle{Truth: ch} }, "Oracle"
+	case "csma":
+		return baselineTrial(func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result {
+			return baseline.CSMA{}.Run(n, t, pos, r)
+		}), "CSMA", nil
+	case "seq":
+		return baselineTrial(func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result {
+			return baseline.Sequential{}.Run(n, t, pos, r)
+		}), "Sequential", nil
+	default:
+		return nil, "", fmt.Errorf("unknown algorithm %q", alg)
+	}
+	return func(r *rng.Source) (float64, error) {
+		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		res, err := fac(ch).Run(ch, n, t, r.Split(2))
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Queries), nil
+	}, name, nil
+}
+
+func plain(a core.Algorithm) func(ch *fastsim.Channel) core.Algorithm {
+	return func(*fastsim.Channel) core.Algorithm { return a }
+}
+
+// printTrace runs one session with a trace recorder and prints its
+// poll-by-poll timeline. Baselines have no group polls to trace.
+func printTrace(alg string, n, t, x int, cfg fastsim.Config, seed uint64) error {
+	var a core.Algorithm
+	switch alg {
+	case "2tbins":
+		a = core.TwoTBins{}
+	case "exp":
+		a = core.ExpIncrease{}
+	case "abns-t":
+		a = core.ABNS{P0: 1}
+	case "abns-2t":
+		a = core.ABNS{P0: 2}
+	case "probabns":
+		a = core.ProbABNS{}
+	default:
+		return fmt.Errorf("-trace supports the tcast algorithms, not %q", alg)
+	}
+	r := rng.New(seed)
+	ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+	rec := trace.NewRecorder(ch)
+	res, err := a.Run(rec, n, t, r.Split(2))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- trace of one %s session (decision=%v, %d polls) ---\n", a.Name(), res.Decision, res.Queries)
+	fmt.Print(rec.Render())
+	fmt.Println("---")
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcastsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"tcast/internal/fastsim"
+	"tcast/internal/rng"
+)
+
+func TestBuildTrialAllAlgorithms(t *testing.T) {
+	cfg := fastsim.DefaultConfig()
+	for alg, wantName := range map[string]string{
+		"2tbins":   "2tBins",
+		"exp":      "ExpIncrease",
+		"abns-t":   "ABNS(p0=t)",
+		"abns-2t":  "ABNS(p0=2t)",
+		"probabns": "ProbABNS",
+		"oracle":   "Oracle",
+		"csma":     "CSMA",
+		"seq":      "Sequential",
+	} {
+		trial, name, err := buildTrial(alg, 32, 8, 10, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if name != wantName {
+			t.Errorf("%s: name = %q, want %q", alg, name, wantName)
+		}
+		cost, err := trial(rng.New(1))
+		if err != nil {
+			t.Fatalf("%s trial: %v", alg, err)
+		}
+		if cost < 0 {
+			t.Errorf("%s: negative cost %v", alg, cost)
+		}
+	}
+}
+
+func TestBuildTrialUnknownAlgorithm(t *testing.T) {
+	if _, _, err := buildTrial("nope", 32, 8, 10, fastsim.DefaultConfig()); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestBuildTrialDeterministic(t *testing.T) {
+	trial, _, err := buildTrial("2tbins", 64, 8, 12, fastsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := trial(rng.New(7))
+	b, _ := trial(rng.New(7))
+	if a != b {
+		t.Fatalf("same seed gave %v and %v", a, b)
+	}
+}
+
+func TestPrintTraceRejectsBaselines(t *testing.T) {
+	if err := printTrace("csma", 16, 4, 4, fastsim.DefaultConfig(), 1); err == nil {
+		t.Fatal("baseline trace accepted")
+	}
+}
+
+func TestPrintTraceRuns(t *testing.T) {
+	if err := printTrace("probabns", 16, 4, 4, fastsim.DefaultConfig(), 1); err != nil {
+		t.Fatal(err)
+	}
+}

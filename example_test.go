@@ -1,0 +1,68 @@
+package tcast_test
+
+import (
+	"fmt"
+
+	"tcast"
+)
+
+// ExampleNetwork_Query shows the basic threshold question: do at least 4
+// of 32 neighbors hold the predicate?
+func ExampleNetwork_Query() {
+	net, err := tcast.NewNetwork(32, []int{3, 9, 17, 21, 30}, tcast.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := net.Query(4, tcast.TwoTBins())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("threshold reached:", res.Decision)
+	// Output:
+	// threshold reached: true
+}
+
+// ExampleNetwork_QueryBetween asks whether the positive count lies in an
+// interval — the k+ decision-tree reduction to two threshold queries.
+func ExampleNetwork_QueryBetween() {
+	net, err := tcast.NewNetwork(32, []int{3, 9, 17, 21, 30}, tcast.WithSeed(2))
+	if err != nil {
+		panic(err)
+	}
+	res, err := net.QueryBetween(4, 8, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("between 4 and 8 positives:", res.Decision)
+	// Output:
+	// between 4 and 8 positives: true
+}
+
+// ExampleNetwork_Identify retrieves the exact positive set once a
+// threshold has fired, via adaptive group testing.
+func ExampleNetwork_Identify() {
+	net, err := tcast.NewNetwork(32, []int{3, 9, 17}, tcast.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	positives, _, err := net.Identify()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("positive nodes:", positives)
+	// Output:
+	// positive nodes: [3 9 17]
+}
+
+// ExampleNewDetector screens a bimodal deployment in O(1) polls.
+func ExampleNewDetector() {
+	det, err := tcast.NewDetector(128, 4, 2, 64, 8, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	quiet, _ := tcast.NewNetwork(128, []int{5, 77}, tcast.WithSeed(4))
+	activity, _ := det.Detect(quiet)
+	fmt.Println("activity detected on a quiet network:", activity)
+	// Output:
+	// activity detected on a quiet network: false
+}

@@ -1,0 +1,90 @@
+// Intruder classification: the Section II-C use case — "querying of the
+// neighborhood for classification of an intruder (say as a soldier, car,
+// or tank) by counting the detections in the neighborhood".
+//
+// Strategy: a cheap O(log n) cardinality estimate picks the candidate
+// class, one exact threshold query confirms its boundary, and — only for
+// real events — adaptive group testing identifies the witnesses for the
+// report. Every step rides the same RCD group-poll primitive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcast"
+)
+
+// classes maps a classification to the minimum corroborating detections:
+// a tank's seismic/magnetic signature trips far more neighbors than a
+// walking soldier's.
+var classes = []struct {
+	name      string
+	threshold int
+}{
+	{"tank", 48},
+	{"car", 24},
+	{"soldier", 8},
+}
+
+// classify estimates the detection count, then confirms the implied class
+// boundary with exact threshold queries (stepping down if the estimate
+// was optimistic).
+func classify(net *tcast.Network) (string, int, error) {
+	estimate, polls := net.EstimateCount(8)
+	for _, c := range classes {
+		if estimate < 0.75*float64(c.threshold) {
+			continue // estimate rules this class out; skip the query
+		}
+		res, err := net.Query(c.threshold, tcast.ProbABNS())
+		if err != nil {
+			return "", 0, err
+		}
+		polls += res.Queries
+		if res.Decision {
+			return c.name, polls, nil
+		}
+	}
+	return "false alarm", polls, nil
+}
+
+func main() {
+	const n = 128
+	scenarios := []struct {
+		label      string
+		detections int
+	}{
+		{"quiet night (2 spurious detections)", 2},
+		{"single walker (12 detections)", 12},
+		{"vehicle passing (30 detections)", 30},
+		{"armored column (70 detections)", 70},
+	}
+	for i, sc := range scenarios {
+		positives := make([]int, sc.detections)
+		for j := range positives {
+			positives[j] = j * n / sc.detections
+		}
+		net, err := tcast.NewNetwork(n, positives, tcast.WithSeed(uint64(100+i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		class, polls, err := classify(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-38s -> %-11s (%d polls", sc.label, class, polls)
+		if class != "false alarm" {
+			// A real event: fetch the witnesses for the report.
+			witnesses, idQueries, err := net.Identify()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" + %d to identify %d witnesses", idQueries, len(witnesses))
+		}
+		fmt.Println(")")
+	}
+	fmt.Printf("\nall on %d-node neighborhoods; a sequential roll call costs ~%d slots every time.\n", n, n)
+	fmt.Println("the common case — a quiet network — is answered in a handful of polls;")
+	fmt.Println("only detections sitting right on a class boundary (x ≈ t, the paper's")
+	fmt.Println("hard case) pay mid-range costs.")
+}

@@ -1,0 +1,112 @@
+// "A Line in the Sand", end to end: the paper's motivating intrusion
+// pipeline over a deployed field. An event trips the sensors around it; the
+// nearest node becomes the initiator and confirms the detection with a
+// tcast threshold query over its singlehop neighborhood; confirmed events
+// are reported to the basestation over the convergecast tree; unconfirmed
+// ones are suppressed locally — the in-network processing win the paper's
+// introduction describes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcast"
+	"tcast/internal/field"
+	"tcast/internal/rng"
+	"tcast/internal/timing"
+)
+
+const (
+	cols, rows = 10, 10
+	spacing    = 10.0 // meters
+	radioRange = 25.0 // singlehop neighborhoods of ~20 nodes
+	senseRange = 18.0
+	threshold  = 8    // corroborating detections for a real event
+	falseRate  = 0.02 // per-node spurious detection probability
+	events     = 30
+)
+
+func main() {
+	r := rng.New(2011)
+	dep, err := field.Grid(cols, rows, spacing, radioRange)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := 0 // basestation at the corner
+	tree, err := dep.BFSTree(sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc := field.Convergecast{LossProb: 0.1, MaxRetries: 3}
+	costs := timing.DefaultCosts(dep.N())
+
+	var reported, suppressed, confirmPolls, reportTx int
+	for ev := 0; ev < events; ev++ {
+		er := r.Split(uint64(ev))
+		// Half the episodes are real intrusions, half are quiet periods
+		// with only spurious detections.
+		real := ev%2 == 0
+		var epicenter field.Point
+		detectors := map[int]bool{}
+		if real {
+			epicenter = field.Point{X: er.Float64() * spacing * float64(cols-1), Y: er.Float64() * spacing * float64(rows-1)}
+			for _, id := range dep.NodesWithin(epicenter, senseRange) {
+				detectors[id] = true
+			}
+		} else {
+			epicenter = field.Point{X: 45, Y: 45}
+		}
+		for id := 0; id < dep.N(); id++ {
+			if er.Bernoulli(falseRate) {
+				detectors[id] = true
+			}
+		}
+		if len(detectors) == 0 {
+			continue // nothing sensed anywhere
+		}
+
+		// The node nearest the (estimated) epicenter initiates tcast
+		// over its singlehop neighborhood.
+		initiator := dep.Nearest(epicenter)
+		hood := dep.Neighbors(initiator)
+		positives := make([]int, 0, len(hood))
+		for local, id := range hood {
+			if detectors[id] {
+				positives = append(positives, local)
+			}
+		}
+		net, err := tcast.NewNetwork(len(hood), positives, tcast.WithSeed(uint64(5000+ev)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := net.Query(threshold, tcast.ProbABNS())
+		if err != nil {
+			log.Fatal(err)
+		}
+		confirmPolls += res.Queries
+
+		if !res.Decision {
+			suppressed++
+			continue // false positive: logged locally, never reported
+		}
+		del := cc.Deliver(tree, initiator, er.Split(1))
+		reportTx += del.Transmissions
+		if del.Delivered {
+			reported++
+		}
+		if res.Decision != real {
+			fmt.Printf("episode %d: confirmed a quiet period — threshold misconfigured?\n", ev)
+		}
+	}
+
+	fmt.Printf("field: %dx%d nodes, basestation at node %d, %d episodes (half real)\n\n",
+		cols, rows, sink, events)
+	fmt.Printf("reported intrusions:    %d (delivered over the tree, %d frames total)\n", reported, reportTx)
+	fmt.Printf("suppressed false alarms: %d (never left the neighborhood)\n", suppressed)
+	fmt.Printf("confirmation cost:       %d polls total (%.1f per episode, ~%.1f ms each)\n",
+		confirmPolls, float64(confirmPolls)/events,
+		costs.TcastLatency(confirmPolls/events, 2).Seconds()*1000)
+	fmt.Println("\nwithout tcast, every spurious detection would ride the tree to the")
+	fmt.Println("basestation; with it, only corroborated events pay multihop cost.")
+}

@@ -1,0 +1,76 @@
+// Multihop interference (the paper's §VII future work): a field of
+// single-hop regions runs threshold queries concurrently while neighbor
+// traffic leaks in as interference. The map below marks each region's
+// decision — pollcast's CCA sensing turns neighbor traffic into
+// false-positive alarms, backcast's HACK gating does not.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tcast/internal/multihop"
+	"tcast/internal/pollcast"
+)
+
+const (
+	width, height = 8, 8
+	nodesPerRgn   = 24
+	threshold     = 6
+	truePositives = 2 // every region is actually below threshold
+	load          = 0.8
+	coupling      = 0.08
+)
+
+func runMap(prim pollcast.Primitive) (string, multihop.Summary) {
+	field, err := multihop.NewField(width, height, nodesPerRgn, load)
+	if err != nil {
+		log.Fatal(err)
+	}
+	positives := make([]int, field.Regions())
+	for i := range positives {
+		positives[i] = truePositives
+	}
+	c := multihop.Campaign{
+		Field: field, Primitive: prim, Coupling: coupling,
+		Threshold: threshold, Positives: positives,
+	}
+	results, sum, err := c.Run(2011)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var b strings.Builder
+	for y := 0; y < height; y++ {
+		b.WriteString("    ")
+		for x := 0; x < width; x++ {
+			r := results[y*width+x]
+			switch {
+			case r.Decision && !r.Truth:
+				b.WriteString("X ") // false alarm
+			case r.Decision == r.Truth:
+				b.WriteString(". ") // correct
+			default:
+				b.WriteString("o ") // missed (false negative)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), sum
+}
+
+func main() {
+	fmt.Printf("%dx%d regions, %d nodes each, t=%d, true x=%d everywhere (below threshold)\n",
+		width, height, nodesPerRgn, threshold, truePositives)
+	fmt.Printf("neighbor load %.0f%%, coupling %.0f%% — '.' correct, 'X' false alarm\n\n",
+		100*load, 100*coupling)
+
+	m, sum := runMap(pollcast.Pollcast)
+	fmt.Printf("pollcast (CCA energy sensing): %d/%d regions raise false alarms\n%s\n",
+		sum.FalsePositives, sum.Regions, m)
+	m, sum = runMap(pollcast.Backcast)
+	fmt.Printf("backcast (decoded-HACK gating): %d/%d regions raise false alarms\n%s\n",
+		sum.FalsePositives, sum.Regions, m)
+	fmt.Println("interference energy cannot forge a hardware acknowledgement, so")
+	fmt.Println("backcast keeps singlehop tcast exact inside a noisy multihop field.")
+}

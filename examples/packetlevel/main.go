@@ -1,0 +1,76 @@
+// Packet-level simulation: run tcast over the full radio stack — frames,
+// CCA, HACK superposition — instead of the abstract channel, and
+// demonstrate why the paper builds on backcast: under external
+// interference, pollcast's energy sensing produces false-positive
+// "non-empty" bins, while backcast only trusts decoded hardware ACKs
+// (Section III-B).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcast/internal/core"
+	"tcast/internal/pollcast"
+	"tcast/internal/query"
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+)
+
+const (
+	n          = 32
+	threshold  = 8
+	x          = 3 // ground truth: below threshold
+	initiator  = 1000
+	trials     = 200
+	interferon = 0.3 // 30% of slots carry neighboring-region traffic
+)
+
+func run(prim pollcast.Primitive, cfg radio.Config, seed uint64) (wrong int, avgQueries float64, avgLatencyMS float64) {
+	for i := 0; i < trials; i++ {
+		r := rng.New(seed + uint64(i))
+		parts := make([]*pollcast.Participant, n)
+		for id := range parts {
+			parts[id] = &pollcast.Participant{ID: id}
+		}
+		for _, id := range r.Split(1).Sample(n, x) {
+			parts[id].Positive = true
+		}
+		med := radio.NewMedium(cfg, r.Split(2))
+		sess, err := pollcast.NewSession(med, initiator, parts, prim, query.OnePlus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := (core.TwoTBins{}).Run(sess, n, threshold, r.Split(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Decision != (x >= threshold) {
+			wrong++
+		}
+		avgQueries += float64(res.Queries)
+		avgLatencyMS += sess.Elapsed().Seconds() * 1000
+	}
+	return wrong, avgQueries / trials, avgLatencyMS / trials
+}
+
+func main() {
+	fmt.Printf("packet-level 2tBins: n=%d, t=%d, true x=%d (threshold NOT met)\n\n", n, threshold, x)
+
+	cleanCfg := radio.Config{}
+	wrong, q, ms := run(pollcast.Pollcast, cleanCfg, 100)
+	fmt.Printf("pollcast, clean channel:        %3d/%d wrong decisions, %.1f queries, %.1f ms\n", wrong, trials, q, ms)
+	wrong, q, ms = run(pollcast.Backcast, cleanCfg, 200)
+	fmt.Printf("backcast, clean channel:        %3d/%d wrong decisions, %.1f queries, %.1f ms\n", wrong, trials, q, ms)
+
+	noisyCfg := radio.Config{InterferenceProb: interferon}
+	wrong, q, ms = run(pollcast.Pollcast, noisyCfg, 300)
+	fmt.Printf("pollcast, %.0f%% interference:    %3d/%d wrong decisions, %.1f queries, %.1f ms  <- CCA false positives\n",
+		100*interferon, wrong, trials, q, ms)
+	wrong, q, ms = run(pollcast.Backcast, noisyCfg, 400)
+	fmt.Printf("backcast, %.0f%% interference:    %3d/%d wrong decisions, %.1f queries, %.1f ms  <- HACK-gated, immune\n",
+		100*interferon, wrong, trials, q, ms)
+
+	fmt.Println("\nbackcast concludes 'non-empty' only on a decoded hardware ACK, so")
+	fmt.Println("interference cannot inflate the count past the threshold.")
+}

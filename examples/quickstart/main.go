@@ -1,0 +1,76 @@
+// Quickstart: ask a simulated singlehop neighborhood whether at least t
+// nodes hold a predicate, and compare what each tcast algorithm pays for
+// the answer against the traditional alternatives' intuition.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcast"
+)
+
+func main() {
+	// A neighborhood of 128 sensor nodes; 20 of them currently detect
+	// the event (the initiator does not know this number).
+	positives := make([]int, 20)
+	for i := range positives {
+		positives[i] = i * 6 // arbitrary ground-truth node IDs
+	}
+	net, err := tcast.NewNetwork(128, positives, tcast.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const threshold = 16
+	const sessions = 200 // average the cost over repeated sessions
+	fmt.Printf("network: n=%d, ground truth x=%d, asking x >= %d? (%d sessions each)\n\n",
+		net.N(), net.Positives(), threshold, sessions)
+
+	for _, alg := range []tcast.Algorithm{
+		tcast.TwoTBins(),
+		tcast.ExpIncrease(),
+		tcast.ABNS(1),
+		tcast.ABNS(2),
+		tcast.ProbABNS(),
+	} {
+		var queries int
+		var answer bool
+		for s := 0; s < sessions; s++ {
+			res, err := net.Query(threshold, alg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			queries += res.Queries
+			answer = res.Decision
+		}
+		fmt.Printf("%-22s answer=%v  mean queries=%.1f\n",
+			alg.Name(), answer, float64(queries)/sessions)
+	}
+
+	// The oracle lower bound: what an initiator that magically knew x
+	// would pay on average.
+	var oracleQueries int
+	for s := 0; s < sessions; s++ {
+		res, err := net.QueryOracle(threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oracleQueries += res.Queries
+	}
+	fmt.Printf("%-22s answer=%v  mean queries=%.1f\n",
+		"Oracle (lower bound)", true, float64(oracleQueries)/sessions)
+
+	// The same question with a 2+ radio (capture effect): decoded
+	// replies identify positives and reduce the cost near x ≈ t.
+	net2, err := tcast.NewNetwork(128, positives, tcast.WithSeed(7), tcast.WithTwoPlus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := net2.Query(threshold, tcast.TwoTBins())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith a 2+ radio, 2tBins confirmed %d positives by decode and paid %d queries\n",
+		res2.Confirmed, res2.Queries)
+}

@@ -1,0 +1,57 @@
+package tcast_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and executes every example binary, asserting a
+// clean exit — the examples are living documentation and must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds; skipped with -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected at least three examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var runErr error
+				out, runErr = cmd.CombinedOutput()
+				done <- runErr
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run failed: %v\n%s", err, out)
+				}
+				if len(out) == 0 {
+					t.Fatal("example produced no output")
+				}
+			case <-time.After(2 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatal("example timed out")
+			}
+		})
+	}
+}

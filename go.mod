@@ -1,0 +1,3 @@
+module tcast
+
+go 1.22

@@ -1,0 +1,203 @@
+// Package baseline implements the two traditional feedback-collection
+// schemes the paper compares tcast against (Section IV-C): CSMA with
+// binary exponential backoff, and sequential (TDMA-style) ordering.
+//
+// Both baselines measure cost in time slots. One slot carries one reply
+// frame, which is commensurate with one RCD group query: a pollcast poll
+// plus its simultaneous answer occupies a constant number of slots, so
+// the paper plots both costs on a single axis.
+package baseline
+
+import (
+	"tcast/internal/bitset"
+	"tcast/internal/rng"
+)
+
+// Result reports one baseline feedback-collection session.
+type Result struct {
+	// Decision is the initiator's answer to "x >= t?". Under CSMA with
+	// guard-based termination the decision can be wrong — the paper's
+	// point that "it is impossible to tell whether x > t or x < t holds
+	// with certainty using CSMA".
+	Decision bool
+	// Slots is the number of time slots until the initiator decided.
+	Slots int
+	// Delivered counts reply frames successfully received.
+	Delivered int
+	// Collisions counts slots wasted on colliding transmissions.
+	Collisions int
+	// Order is the reply schedule used by Sequential (nil for CSMA);
+	// energy accounting needs to know who was scheduled before the
+	// early-termination point.
+	Order []int
+}
+
+// CSMA is the contention baseline: every positive node tries to deliver
+// one reply using slotted carrier sensing with binary exponential backoff.
+// The initiator stops as soon as it can answer the threshold question.
+type CSMA struct {
+	// CWMin and CWMax bound the contention window. Zero values default
+	// to 4 and 128.
+	CWMin, CWMax int
+	// GuardSlots selects the termination rule for the "x < t" side.
+	// Zero means idealized termination — the initiator magically knows
+	// when the last reply has arrived, the assumption most favorable to
+	// CSMA (mirroring how the paper favored the baselines). A positive
+	// value means realistic termination: the initiator declares
+	// "threshold unreachable" after that many consecutive idle slots,
+	// which can be wrong if a node is still backed off.
+	GuardSlots int
+}
+
+func (c CSMA) bounds() (cwMin, cwMax int) {
+	cwMin, cwMax = c.CWMin, c.CWMax
+	if cwMin <= 0 {
+		cwMin = 4
+	}
+	if cwMax < cwMin {
+		cwMax = 128
+	}
+	return cwMin, cwMax
+}
+
+// Name identifies the baseline in experiment output.
+func (c CSMA) Name() string { return "CSMA" }
+
+// Run simulates one session: n participants of which the members of
+// positives reply, threshold t.
+func (c CSMA) Run(n, t int, positives *bitset.Set, r *rng.Source) Result {
+	cwMin, cwMax := c.bounds()
+	x := positives.Len()
+
+	if t <= 0 {
+		return Result{Decision: true}
+	}
+	if t > n {
+		return Result{Decision: false}
+	}
+
+	// Per-backlogged-node contention state.
+	type station struct {
+		cw      int
+		counter int
+	}
+	backlog := make([]*station, 0, x)
+	for i := 0; i < x; i++ {
+		backlog = append(backlog, &station{cw: cwMin, counter: r.Intn(cwMin)})
+	}
+
+	var res Result
+	idleRun := 0
+	for {
+		if res.Delivered >= t {
+			res.Decision = true
+			return res
+		}
+		if c.GuardSlots == 0 {
+			// Idealized termination: all replies in, threshold not met.
+			if res.Delivered == x {
+				res.Decision = false
+				return res
+			}
+		} else if idleRun >= c.GuardSlots {
+			// Realistic termination: prolonged silence. May be wrong
+			// if stations are still backed off.
+			res.Decision = false
+			return res
+		}
+
+		res.Slots++
+		// Stations whose counter expired transmit this slot.
+		transmit := backlog[:0:0]
+		for _, s := range backlog {
+			if s.counter == 0 {
+				transmit = append(transmit, s)
+			}
+		}
+		switch len(transmit) {
+		case 0:
+			idleRun++
+			for _, s := range backlog {
+				s.counter--
+			}
+		case 1:
+			idleRun = 0
+			res.Delivered++
+			// Remove the successful station from the backlog.
+			kept := backlog[:0]
+			for _, s := range backlog {
+				if s != transmit[0] {
+					kept = append(kept, s)
+				}
+			}
+			backlog = kept
+		default:
+			idleRun = 0
+			res.Collisions++
+			for _, s := range transmit {
+				s.cw *= 2
+				if s.cw > cwMax {
+					s.cw = cwMax
+				}
+				s.counter = r.Intn(s.cw)
+			}
+		}
+	}
+}
+
+// Sequential is the collision-free baseline: the initiator broadcasts a
+// schedule assigning every participant its own reply slot (the paper's
+// synchronized variant, which it notes "favors the sequential ordering
+// results"). Positive nodes reply in their slot; the initiator stops as
+// soon as the threshold question resolves.
+type Sequential struct {
+	// ContactNext selects the alternative implementation the paper
+	// sketches — the initiator polls each node and waits for its answer
+	// before contacting the next — which doubles the per-node cost but
+	// needs no time synchronization.
+	ContactNext bool
+}
+
+// Name identifies the baseline in experiment output.
+func (s Sequential) Name() string {
+	if s.ContactNext {
+		return "Sequential(contact-next)"
+	}
+	return "Sequential"
+}
+
+// Run simulates one session over a uniformly random reply order.
+func (s Sequential) Run(n, t int, positives *bitset.Set, r *rng.Source) Result {
+	if t <= 0 {
+		return Result{Decision: true}
+	}
+	if t > n {
+		return Result{Decision: false}
+	}
+	perSlot := 1
+	if s.ContactNext {
+		perSlot = 2
+	}
+	order := r.Perm(n)
+	res := Result{Order: order}
+	heard := 0
+	for i, id := range order {
+		res.Slots += perSlot
+		if positives.Contains(id) {
+			heard++
+			res.Delivered++
+		}
+		remaining := n - (i + 1)
+		if heard >= t {
+			res.Decision = true
+			return res
+		}
+		if heard+remaining < t {
+			res.Decision = false
+			return res
+		}
+	}
+	// Unreachable: one of the two conditions resolves by the last slot.
+	res.Decision = heard >= t
+	return res
+}

@@ -1,0 +1,268 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcast/internal/bitset"
+	"tcast/internal/rng"
+)
+
+func randomPositives(n, x int, r *rng.Source) *bitset.Set {
+	s := bitset.New(n)
+	for _, id := range r.Sample(n, x) {
+		s.Add(id)
+	}
+	return s
+}
+
+func TestCSMAIdealCorrect(t *testing.T) {
+	root := rng.New(1)
+	for _, tc := range []struct{ n, th, x int }{
+		{32, 8, 0}, {32, 8, 7}, {32, 8, 8}, {32, 8, 32},
+		{128, 16, 15}, {128, 16, 17}, {1, 1, 1}, {1, 1, 0},
+	} {
+		for i := 0; i < 10; i++ {
+			r := root.Split(uint64(tc.n*1000 + tc.x*10 + i))
+			res := CSMA{}.Run(tc.n, tc.th, randomPositives(tc.n, tc.x, r), r)
+			if want := tc.x >= tc.th; res.Decision != want {
+				t.Fatalf("n=%d t=%d x=%d: decision %v, want %v", tc.n, tc.th, tc.x, res.Decision, want)
+			}
+		}
+	}
+}
+
+func TestCSMAZeroPositivesIdealFree(t *testing.T) {
+	r := rng.New(2)
+	res := CSMA{}.Run(64, 8, bitset.New(64), r)
+	if res.Decision || res.Slots != 0 {
+		t.Fatalf("x=0 ideal: %+v", res)
+	}
+}
+
+func TestCSMATrivialThresholds(t *testing.T) {
+	r := rng.New(3)
+	if res := (CSMA{}).Run(8, 0, randomPositives(8, 3, r), r); !res.Decision || res.Slots != 0 {
+		t.Fatalf("t=0: %+v", res)
+	}
+	if res := (CSMA{}).Run(8, 9, randomPositives(8, 3, r), r); res.Decision || res.Slots != 0 {
+		t.Fatalf("t>n: %+v", res)
+	}
+}
+
+func TestCSMACostGrowsWithX(t *testing.T) {
+	// Fig 1: "CSMA cost increases proportional to x".
+	root := rng.New(4)
+	avg := func(x int) float64 {
+		total := 0
+		const runs = 300
+		for i := 0; i < runs; i++ {
+			r := root.Split(uint64(x*1000 + i))
+			// High threshold so every reply must be collected.
+			res := CSMA{}.Run(128, 128, randomPositives(128, x, r), r)
+			total += res.Slots
+		}
+		return float64(total) / runs
+	}
+	c8, c32, c96 := avg(8), avg(32), avg(96)
+	if !(c8 < c32 && c32 < c96) {
+		t.Fatalf("CSMA cost not increasing: %v, %v, %v", c8, c32, c96)
+	}
+	// Superlinearity head-room: at least linear growth.
+	if c96 < 2.5*c32/(32.0/96.0)/10 { // sanity floor, avoids flakiness
+		t.Fatalf("implausible CSMA costs: %v %v %v", c8, c32, c96)
+	}
+}
+
+func TestCSMAEarlyStopAtThreshold(t *testing.T) {
+	// With x >> t the initiator stops at the t-th delivery: cost must be
+	// far below the full-collection cost.
+	root := rng.New(5)
+	const runs = 200
+	var early, full int
+	for i := 0; i < runs; i++ {
+		r := root.Split(uint64(i))
+		pos := randomPositives(128, 100, r)
+		early += CSMA{}.Run(128, 8, pos.Clone(), r.Split(1)).Slots
+		full += CSMA{}.Run(128, 100, pos.Clone(), r.Split(2)).Slots
+	}
+	if early >= full/2 {
+		t.Fatalf("early stop not effective: early=%d full=%d", early, full)
+	}
+}
+
+func TestCSMADeliveredAndCollisions(t *testing.T) {
+	r := rng.New(6)
+	res := CSMA{}.Run(64, 64, randomPositives(64, 20, r), r)
+	if res.Delivered != 20 {
+		t.Fatalf("Delivered = %d, want 20", res.Delivered)
+	}
+	if res.Slots < 20 {
+		t.Fatalf("Slots = %d < deliveries", res.Slots)
+	}
+}
+
+func TestCSMAGuardTermination(t *testing.T) {
+	// A generous guard gives correct decisions and costs at least the
+	// guard on the "false" side.
+	root := rng.New(7)
+	for i := 0; i < 30; i++ {
+		r := root.Split(uint64(i))
+		res := CSMA{GuardSlots: 256}.Run(64, 8, randomPositives(64, 3, r), r)
+		if res.Decision {
+			t.Fatalf("trial %d: guard termination decided true with x=3 < t=8", i)
+		}
+		if res.Slots < 256 {
+			t.Fatalf("trial %d: guard fired after %d slots", i, res.Slots)
+		}
+	}
+}
+
+func TestCSMAGuardZeroPositivesCostsGuard(t *testing.T) {
+	r := rng.New(8)
+	res := CSMA{GuardSlots: 32}.Run(64, 8, bitset.New(64), r)
+	if res.Decision || res.Slots != 32 {
+		t.Fatalf("guard idle cost: %+v", res)
+	}
+}
+
+func TestCSMACustomWindows(t *testing.T) {
+	r := rng.New(9)
+	res := CSMA{CWMin: 2, CWMax: 8}.Run(32, 32, randomPositives(32, 16, r), r)
+	if res.Delivered != 16 {
+		t.Fatalf("custom windows broke delivery: %+v", res)
+	}
+}
+
+func TestQuickCSMAIdealAlwaysCorrect(t *testing.T) {
+	f := func(seed uint64, nRaw, tRaw, xRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		th := int(tRaw) % (n + 2)
+		x := int(xRaw) % (n + 1)
+		r := rng.New(seed)
+		res := CSMA{}.Run(n, th, randomPositives(n, x, r), r)
+		return res.Decision == (x >= th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialCorrect(t *testing.T) {
+	root := rng.New(10)
+	for _, tc := range []struct{ n, th, x int }{
+		{32, 8, 0}, {32, 8, 7}, {32, 8, 8}, {32, 8, 32},
+		{128, 16, 15}, {128, 16, 17}, {1, 1, 1}, {1, 1, 0},
+	} {
+		for i := 0; i < 10; i++ {
+			r := root.Split(uint64(tc.n*1000 + tc.x*10 + i))
+			res := Sequential{}.Run(tc.n, tc.th, randomPositives(tc.n, tc.x, r), r)
+			if want := tc.x >= tc.th; res.Decision != want {
+				t.Fatalf("n=%d t=%d x=%d: decision %v", tc.n, tc.th, tc.x, res.Decision)
+			}
+		}
+	}
+}
+
+func TestSequentialZeroPositivesCost(t *testing.T) {
+	// x=0: "false" resolves once the remaining slots cannot reach t:
+	// exactly n-t+1 slots.
+	r := rng.New(11)
+	res := Sequential{}.Run(128, 16, bitset.New(128), r)
+	if res.Decision || res.Slots != 128-16+1 {
+		t.Fatalf("x=0: %+v, want slots=%d", res, 128-16+1)
+	}
+}
+
+func TestSequentialAllPositiveCost(t *testing.T) {
+	// x=n: the t-th slot delivers the t-th positive.
+	r := rng.New(12)
+	res := Sequential{}.Run(128, 16, bitset.Full(128), r)
+	if !res.Decision || res.Slots != 16 {
+		t.Fatalf("x=n: %+v, want slots=16", res)
+	}
+}
+
+func TestSequentialLargeCostForSmallX(t *testing.T) {
+	// Fig 1: sequential "starts with a large cost overhead
+	// (approximately n−x) for x << t".
+	root := rng.New(13)
+	const n, th, x, runs = 128, 16, 2, 200
+	total := 0
+	for i := 0; i < runs; i++ {
+		r := root.Split(uint64(i))
+		total += Sequential{}.Run(n, th, randomPositives(n, x, r), r).Slots
+	}
+	avg := float64(total) / runs
+	if avg < float64(n)-float64(th)-float64(x)-5 {
+		t.Fatalf("sequential avg %v implausibly cheap for x<<t", avg)
+	}
+}
+
+func TestSequentialContactNextDoubles(t *testing.T) {
+	r1 := rng.New(14)
+	r2 := rng.New(14)
+	pos := bitset.Full(64)
+	plain := Sequential{}.Run(64, 8, pos, r1)
+	contact := Sequential{ContactNext: true}.Run(64, 8, pos, r2)
+	if contact.Slots != 2*plain.Slots {
+		t.Fatalf("contact-next slots %d, want %d", contact.Slots, 2*plain.Slots)
+	}
+	if (Sequential{ContactNext: true}).Name() != "Sequential(contact-next)" ||
+		(Sequential{}).Name() != "Sequential" || (CSMA{}).Name() != "CSMA" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestSequentialTrivialThresholds(t *testing.T) {
+	r := rng.New(15)
+	if res := (Sequential{}).Run(8, 0, bitset.New(8), r); !res.Decision || res.Slots != 0 {
+		t.Fatalf("t=0: %+v", res)
+	}
+	if res := (Sequential{}).Run(8, 9, bitset.Full(8), r); res.Decision || res.Slots != 0 {
+		t.Fatalf("t>n: %+v", res)
+	}
+}
+
+func TestQuickSequentialAlwaysCorrect(t *testing.T) {
+	f := func(seed uint64, nRaw, tRaw, xRaw uint8, contact bool) bool {
+		n := int(nRaw%64) + 1
+		th := int(tRaw) % (n + 2)
+		x := int(xRaw) % (n + 1)
+		r := rng.New(seed)
+		res := Sequential{ContactNext: contact}.Run(n, th, randomPositives(n, x, r), r)
+		return res.Decision == (x >= th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSequentialSlotsBounded(t *testing.T) {
+	f := func(seed uint64, xRaw uint8) bool {
+		const n, th = 64, 8
+		x := int(xRaw) % (n + 1)
+		r := rng.New(seed)
+		res := Sequential{}.Run(n, th, randomPositives(n, x, r), r)
+		return res.Slots >= 1 && res.Slots <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCSMA(b *testing.B) {
+	root := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		r := root.Split(uint64(i))
+		CSMA{}.Run(128, 16, randomPositives(128, 32, r), r)
+	}
+}
+
+func BenchmarkSequential(b *testing.B) {
+	root := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		r := root.Split(uint64(i))
+		Sequential{}.Run(128, 16, randomPositives(128, 32, r), r)
+	}
+}

@@ -1,0 +1,91 @@
+// Package binning implements the group-formation strategies the paper's
+// algorithms use: random equal-sized partitions (Algorithms 1-3),
+// per-node probabilistic sampling bins (Sections V-D and VI), and a
+// deterministic contiguous partition (the Aspnes et al. variant, kept for
+// ablation).
+package binning
+
+import (
+	"tcast/internal/rng"
+)
+
+// RandomPartition splits members into b bins of nearly equal size
+// (differing by at most one node), assigning nodes to bins uniformly at
+// random. When b > len(members), the trailing bins are empty of nodes;
+// following Section IV-C they are placed last so early termination never
+// pays for them. It panics if b <= 0.
+func RandomPartition(members []int, b int, r *rng.Source) [][]int {
+	if b <= 0 {
+		panic("binning: bin count must be positive")
+	}
+	n := len(members)
+	shuffled := append([]int(nil), members...)
+	r.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	bins := make([][]int, b)
+	// The first n%b bins receive ceil(n/b) nodes, the rest floor(n/b);
+	// bins beyond n stay empty and come last.
+	base := n / b
+	extra := n % b
+	pos := 0
+	for i := 0; i < b; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		bins[i] = shuffled[pos : pos+size]
+		pos += size
+	}
+	return bins
+}
+
+// DeterministicPartition splits members into b contiguous chunks without
+// shuffling — the deterministic distribution used in the companion
+// theoretical work. It panics if b <= 0.
+func DeterministicPartition(members []int, b int, r *rng.Source) [][]int {
+	if b <= 0 {
+		panic("binning: bin count must be positive")
+	}
+	n := len(members)
+	bins := make([][]int, b)
+	base := n / b
+	extra := n % b
+	pos := 0
+	for i := 0; i < b; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		bins[i] = members[pos : pos+size]
+		pos += size
+	}
+	return bins
+}
+
+// ProbabilisticBin draws one sampling bin: each member joins independently
+// with probability q. This is the probe of Section V-D (q = 2/t) and the
+// repeated sample of Section VI (q = 1/b).
+func ProbabilisticBin(members []int, q float64, r *rng.Source) []int {
+	var bin []int
+	for _, id := range members {
+		if r.Bernoulli(q) {
+			bin = append(bin, id)
+		}
+	}
+	return bin
+}
+
+// Strategy names a partition function so algorithm configs can select one.
+type Strategy func(members []int, b int, r *rng.Source) [][]int
+
+// NonEmpty filters a partition down to the bins that contain at least one
+// node, preserving order. Per Section IV-C, only these bins cost a query.
+func NonEmpty(bins [][]int) [][]int {
+	out := bins[:0:0]
+	for _, bin := range bins {
+		if len(bin) > 0 {
+			out = append(out, bin)
+		}
+	}
+	return out
+}

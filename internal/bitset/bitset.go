@@ -1,0 +1,211 @@
+// Package bitset implements dense sets of small non-negative integers.
+//
+// The tcast algorithms track the set of candidate nodes round after round;
+// a dense bitset keeps membership tests, removals and whole-set sweeps cheap
+// even when experiments scale to thousands of simulated nodes.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a set of integers in [0, capacity). The zero value is an empty set
+// with capacity 0; use New to create a set with room for n elements.
+type Set struct {
+	words []uint64
+	n     int // capacity: valid members are [0, n)
+	count int // cached cardinality
+}
+
+// New returns an empty set whose members may range over [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Full returns the set {0, 1, ..., n-1}.
+func Full(n int) *Set {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	s.count = n
+	return s
+}
+
+// trim clears the bits beyond capacity in the last word.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Cap returns the capacity n the set was created with.
+func (s *Set) Cap() int { return s.n }
+
+// Len returns the number of members.
+func (s *Set) Len() int { return s.count }
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool { return s.count == 0 }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	s.check(i)
+	w, b := i/wordBits, uint(i%wordBits)
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Remove deletes i from the set. Removing an absent element is a no-op.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	w, b := i/wordBits, uint(i%wordBits)
+	if s.words[w]&(1<<b) != 0 {
+		s.words[w] &^= 1 << b
+		s.count--
+	}
+}
+
+// Contains reports whether i is a member.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Clear removes all members.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count = 0
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n, count: s.count}
+	copy(c.words, s.words)
+	return c
+}
+
+// Members returns the elements in ascending order.
+func (s *Set) Members() []int {
+	return s.AppendMembers(make([]int, 0, s.count))
+}
+
+// AppendMembers appends the elements in ascending order to dst and
+// returns the extended slice; hot loops pass a reused buffer to avoid
+// per-round allocations.
+func (s *Set) AppendMembers(dst []int) []int {
+	s.ForEach(func(i int) { dst = append(dst, i) })
+	return dst
+}
+
+// ForEach calls f for every member in ascending order.
+func (s *Set) ForEach(f func(i int)) {
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			f(w*wordBits + b)
+			word &= word - 1
+		}
+	}
+}
+
+// RemoveAll removes every member of other from s. The sets must have been
+// created with the same capacity.
+func (s *Set) RemoveAll(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+	s.recount()
+}
+
+// UnionWith adds every member of other to s.
+func (s *Set) UnionWith(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+	s.recount()
+}
+
+// IntersectWith removes from s every element not in other.
+func (s *Set) IntersectWith(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+	s.recount()
+}
+
+// IntersectionCount returns |s ∩ other| without allocating.
+func (s *Set) IntersectionCount(other *Set) int {
+	s.sameCap(other)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & other.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and other contain exactly the same members.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n || s.count != other.count {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) sameCap(other *Set) {
+	if s.n != other.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, other.n))
+	}
+}
+
+func (s *Set) recount() {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	s.count = c
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

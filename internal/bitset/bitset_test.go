@@ -1,0 +1,279 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcast/internal/rng"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 0 || !s.Empty() {
+		t.Fatal("new set is not empty")
+	}
+	if s.Cap() != 100 {
+		t.Fatalf("Cap = %d, want 100", s.Cap())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("empty set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("set missing %d after Add", i)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	s.Add(63) // duplicate add must not change cardinality
+	if s.Len() != 8 {
+		t.Fatalf("Len after duplicate Add = %d, want 8", s.Len())
+	}
+	s.Remove(63)
+	if s.Contains(63) || s.Len() != 7 {
+		t.Fatal("Remove failed")
+	}
+	s.Remove(63) // duplicate remove is a no-op
+	if s.Len() != 7 {
+		t.Fatalf("Len after duplicate Remove = %d, want 7", s.Len())
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		s := Full(n)
+		if s.Len() != n {
+			t.Fatalf("Full(%d).Len() = %d", n, s.Len())
+		}
+		for i := 0; i < n; i++ {
+			if !s.Contains(i) {
+				t.Fatalf("Full(%d) missing %d", n, i)
+			}
+		}
+		if s.Contains(n) || s.Contains(-1) {
+			t.Fatal("Contains out-of-range returned true")
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Remove(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	s := New(300)
+	for _, i := range []int{250, 3, 64, 9, 128} {
+		s.Add(i)
+	}
+	got := s.Members()
+	want := []int{3, 9, 64, 128, 250}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(64)
+	s.Add(5)
+	c := s.Clone()
+	c.Add(6)
+	if s.Contains(6) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Contains(5) {
+		t.Fatal("Clone lost member")
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	a := Full(100)
+	b := New(100)
+	for i := 0; i < 100; i += 2 {
+		b.Add(i)
+	}
+	a.RemoveAll(b)
+	if a.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", a.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if a.Contains(i) != (i%2 == 1) {
+			t.Fatalf("element %d membership wrong", i)
+		}
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Add(1)
+	a.Add(65)
+	b.Add(65)
+	b.Add(2)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if u.Len() != 3 || !u.Contains(1) || !u.Contains(2) || !u.Contains(65) {
+		t.Fatalf("union wrong: %v", u)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if i.Len() != 1 || !i.Contains(65) {
+		t.Fatalf("intersection wrong: %v", i)
+	}
+	if got := a.IntersectionCount(b); got != 1 {
+		t.Fatalf("IntersectionCount = %d, want 1", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	if !a.Equal(b) {
+		t.Fatal("two empty sets not equal")
+	}
+	a.Add(3)
+	if a.Equal(b) {
+		t.Fatal("sets with different members equal")
+	}
+	b.Add(3)
+	if !a.Equal(b) {
+		t.Fatal("identical sets not equal")
+	}
+	if a.Equal(New(65)) {
+		t.Fatal("sets with different capacity equal")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	New(10).RemoveAll(New(20))
+}
+
+func TestClear(t *testing.T) {
+	s := Full(100)
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left members behind")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	if got := s.String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+	s.Add(1)
+	s.Add(7)
+	if got := s.String(); got != "{1, 7}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestQuickModel checks Set against a map-based reference model under random
+// operation sequences.
+func TestQuickModel(t *testing.T) {
+	f := func(seed uint64, opsRaw []byte) bool {
+		const n = 90
+		s := New(n)
+		model := make(map[int]bool)
+		r := rng.New(seed)
+		for _, op := range opsRaw {
+			i := r.Intn(n)
+			switch op % 3 {
+			case 0:
+				s.Add(i)
+				model[i] = true
+			case 1:
+				s.Remove(i)
+				delete(model, i)
+			case 2:
+				if s.Contains(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for _, m := range s.Members() {
+			if !model[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeMorgan checks |A ∪ B| + |A ∩ B| == |A| + |B| on random sets.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(seed uint64) bool {
+		const n = 128
+		r := rng.New(seed)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(0.3) {
+				a.Add(i)
+			}
+			if r.Bernoulli(0.3) {
+				b.Add(i)
+			}
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		return u.Len()+a.IntersectionCount(b) == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddRemove(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < b.N; i++ {
+		s.Add(i % 4096)
+		s.Remove(i % 4096)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := Full(4096)
+	sum := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(v int) { sum += v })
+	}
+	_ = sum
+}

@@ -1,0 +1,191 @@
+// Package core implements the paper's threshold-querying algorithms — the
+// tcast family — on top of the query.Querier abstraction:
+//
+//   - 2tBins (Algorithm 1),
+//   - Exponential Increase (Algorithm 2) and its two ablation variants,
+//   - ABNS, adaptive bin number selection (Algorithm 3, eqs 4 and 6),
+//   - Probabilistic ABNS (Section V-D),
+//   - the Oracle bin selector (Section V-C, the lower bound),
+//   - the bimodal probabilistic detector (Section VI, eqs 7-10).
+//
+// All algorithms answer the same question: do at least t of the n
+// participant nodes hold the poll predicate? They differ only in how they
+// re-group the candidate nodes between query rounds.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tcast/internal/binning"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+)
+
+// Result reports one completed threshold-query session.
+type Result struct {
+	// Decision is the algorithm's answer to "x >= t?".
+	Decision bool
+	// Queries is the number of group polls issued — the paper's cost
+	// metric. Bins containing no nodes are never polled and cost
+	// nothing (Section IV-C).
+	Queries int
+	// Rounds is the number of re-binning rounds started.
+	Rounds int
+	// Confirmed is the number of positives identified by 2+ decodes.
+	Confirmed int
+}
+
+// Algorithm is a threshold-querying strategy. Run executes one session
+// over participants {0..n-1} with threshold t, drawing randomness from r.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	Run(q query.Querier, n, t int, r *rng.Source) (Result, error)
+}
+
+// ErrRoundLimit is returned when an algorithm fails to converge within the
+// safety cap on rounds; it indicates a logic error or an adversarial
+// channel, never a legal input on an ideal radio.
+var ErrRoundLimit = errors.New("core: round limit exceeded")
+
+// maxRounds bounds any session. Every paper algorithm halves (or at worst
+// keeps) the candidate set with high probability each round, so legitimate
+// sessions finish in O(log n) rounds; the cap only exists to convert
+// would-be livelocks into errors.
+const maxRounds = 100000
+
+// session carries the per-run state shared by the round-based algorithms.
+type session struct {
+	q query.Querier
+	k *query.Knowledge
+	r *rng.Source
+	// custom is a caller-supplied partition strategy; nil selects the
+	// default random equal-sized partition on a zero-allocation fast
+	// path (scratch and binsBuf are reused across rounds).
+	custom  binning.Strategy
+	scratch []int
+	binsBuf [][]int
+	res     Result
+}
+
+func newSession(q query.Querier, n, t int, r *rng.Source, strategy binning.Strategy) *session {
+	return &session{q: q, k: query.NewKnowledge(n, t), r: r, custom: strategy}
+}
+
+// partition splits the current candidates into b bins, returning only the
+// bins that contain nodes. The default path shuffles a reused buffer in
+// place and slices it, drawing exactly the same random sequence as
+// binning.RandomPartition.
+func (s *session) partition(b int) [][]int {
+	s.scratch = s.k.Candidates.AppendMembers(s.scratch[:0])
+	members := s.scratch
+	if s.custom != nil {
+		return binning.NonEmpty(s.custom(members, b, s.r))
+	}
+	s.r.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	bins := s.binsBuf[:0]
+	base, extra := len(members)/b, len(members)%b
+	pos := 0
+	for i := 0; i < b; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		if size == 0 {
+			break // node-less bins are never polled (Section IV-C)
+		}
+		bins = append(bins, members[pos:pos+size])
+		pos += size
+	}
+	s.binsBuf = bins
+	return bins
+}
+
+// decision returns the session's current resolution state.
+func (s *session) decision() (answer, decided bool) { return s.k.Decision() }
+
+// queryBin issues one group poll and folds the response into the ledger.
+// It returns the response and whether the session is now decided.
+func (s *session) queryBin(bin []int) (query.Response, bool) {
+	resp := s.q.Query(bin)
+	s.res.Queries++
+	s.k.Apply(bin, resp, s.q.Traits())
+	_, decided := s.k.Decision()
+	return resp, decided
+}
+
+// roundOutcome summarizes one completed (or cut-short) round.
+type roundOutcome struct {
+	queried   int // bins actually polled (non-empty of nodes)
+	emptyBins int // polled bins that answered Empty
+	decided   bool
+}
+
+// runRound partitions the current candidates into b bins with the
+// session's strategy and polls them in order, stopping early the moment
+// the threshold question resolves (Algorithm 1 lines 11 and 14).
+func (s *session) runRound(b int) roundOutcome {
+	s.res.Rounds++
+	if n := s.k.Candidates.Len(); b > n {
+		b = n
+	}
+	if b < 1 {
+		b = 1
+	}
+	bins := s.partition(b)
+	s.k.StartRound()
+	var out roundOutcome
+	for _, bin := range bins {
+		resp, decided := s.queryBin(bin)
+		out.queried++
+		if resp.Kind == query.Empty {
+			out.emptyBins++
+		}
+		if decided {
+			out.decided = true
+			return out
+		}
+	}
+	return out
+}
+
+// finish packages the session into a Result once decided.
+func (s *session) finish() Result {
+	answer, decided := s.k.Decision()
+	if !decided {
+		panic("core: finish called on undecided session")
+	}
+	s.res.Decision = answer
+	s.res.Confirmed = s.k.Confirmed
+	return s.res
+}
+
+// runWithPolicy drives rounds until decided, asking nextBins for the bin
+// count before each round. nextBins receives the outcome of the previous
+// round (zero value before the first round) and the 1-based upcoming round
+// number.
+func (s *session) runWithPolicy(nextBins func(round int, prev roundOutcome) int) (Result, error) {
+	if _, decided := s.decision(); decided {
+		return s.finish(), nil
+	}
+	var prev roundOutcome
+	for round := 1; round <= maxRounds; round++ {
+		out := s.runRound(nextBins(round, prev))
+		if out.decided {
+			return s.finish(), nil
+		}
+		prev = out
+	}
+	return s.res, fmt.Errorf("%w after %d rounds", ErrRoundLimit, maxRounds)
+}
+
+func validate(n, t int) error {
+	if n < 0 {
+		return fmt.Errorf("core: negative participant count %d", n)
+	}
+	if t < 0 {
+		return fmt.Errorf("core: negative threshold %d", t)
+	}
+	return nil
+}

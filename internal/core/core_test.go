@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcast/internal/fastsim"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+)
+
+// algChannel abbreviates the trial substrate in test helpers.
+type algChannel = *fastsim.Channel
+
+// algFactory builds an algorithm for one trial; the Oracle needs the
+// trial's ground truth, so construction happens per-channel.
+type algFactory func(ch algChannel) Algorithm
+
+func plain(a Algorithm) algFactory { return func(*fastsim.Channel) Algorithm { return a } }
+
+// runOne executes one session on an ideal channel with exactly x positives
+// and returns the result.
+func runOne(t *testing.T, fac algFactory, n, th, x int, cfg fastsim.Config, seed uint64) Result {
+	t.Helper()
+	r := rng.New(seed)
+	ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+	res, err := fac(ch).Run(ch, n, th, r.Split(2))
+	if err != nil {
+		t.Fatalf("Run(n=%d t=%d x=%d): %v", n, th, x, err)
+	}
+	return res
+}
+
+// checkCorrect asserts that the decision matches ground truth x >= th.
+func checkCorrect(t *testing.T, fac algFactory, n, th, x int, cfg fastsim.Config, seed uint64) Result {
+	t.Helper()
+	res := runOne(t, fac, n, th, x, cfg, seed)
+	if want := x >= th; res.Decision != want {
+		t.Fatalf("decision = %v for n=%d t=%d x=%d (seed %d), want %v",
+			res.Decision, n, th, x, seed, want)
+	}
+	return res
+}
+
+// avgQueries averages the query cost over runs trials.
+func avgQueries(t *testing.T, fac algFactory, n, th, x, runs int, cfg fastsim.Config, seed uint64) float64 {
+	t.Helper()
+	root := rng.New(seed)
+	total := 0
+	for i := 0; i < runs; i++ {
+		r := root.Split(uint64(i))
+		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		res, err := fac(ch).Run(ch, n, th, r.Split(2))
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if want := x >= th; res.Decision != want {
+			t.Fatalf("trial %d: wrong decision for x=%d t=%d", i, x, th)
+		}
+		total += res.Queries
+	}
+	return float64(total) / float64(runs)
+}
+
+func onePlus() fastsim.Config { return fastsim.DefaultConfig() }
+func twoPlus() fastsim.Config { return fastsim.TwoPlusConfig() }
+func idealTwoPlus() fastsim.Config {
+	return fastsim.Config{
+		Model:                query.TwoPlus,
+		Capture:              fastsim.NoCapture(),
+		CaptureEffectPresent: false,
+	}
+}
+
+// everyAlgorithm lists all threshold algorithms for cross-cutting tests.
+func everyAlgorithm() []algFactory {
+	return []algFactory{
+		plain(TwoTBins{}),
+		plain(ExpIncrease{}),
+		plain(ExpIncrease{Variant: ExpPauseAndContinue}),
+		plain(ExpIncrease{Variant: ExpFourfold}),
+		plain(ABNS{P0: 1}),
+		plain(ABNS{P0: 2}),
+		plain(ProbABNS{}),
+		func(ch *fastsim.Channel) Algorithm { return Oracle{Truth: ch} },
+	}
+}
+
+func algName(fac algFactory) string { return fac(nil).Name() }
+
+func TestAllAlgorithmsCorrectOnIdealChannel(t *testing.T) {
+	cases := []struct{ n, th, x int }{
+		{16, 4, 0}, {16, 4, 3}, {16, 4, 4}, {16, 4, 5}, {16, 4, 16},
+		{32, 8, 7}, {32, 8, 8}, {32, 1, 0}, {32, 1, 1}, {32, 32, 31}, {32, 32, 32},
+		{128, 16, 2}, {128, 16, 15}, {128, 16, 16}, {128, 16, 17}, {128, 16, 100},
+		{7, 3, 2}, {7, 3, 3}, {1, 1, 0}, {1, 1, 1},
+	}
+	for _, fac := range everyAlgorithm() {
+		name := algName(fac)
+		for _, cfg := range []fastsim.Config{onePlus(), twoPlus(), idealTwoPlus()} {
+			for i, c := range cases {
+				for seed := uint64(0); seed < 3; seed++ {
+					res := checkCorrect(t, fac, c.n, c.th, c.x, cfg, seed+uint64(i)*100)
+					if res.Queries < 0 || res.Rounds < 0 {
+						t.Fatalf("%s: negative counters", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrivialThresholds(t *testing.T) {
+	for _, fac := range everyAlgorithm() {
+		name := algName(fac)
+		// t = 0 is trivially true with zero queries.
+		res := runOne(t, fac, 16, 0, 5, onePlus(), 1)
+		if !res.Decision || res.Queries != 0 {
+			t.Errorf("%s: t=0 gave decision=%v queries=%d", name, res.Decision, res.Queries)
+		}
+		// t > n is trivially false with zero queries.
+		res = runOne(t, fac, 16, 17, 5, onePlus(), 1)
+		if res.Decision || res.Queries != 0 {
+			t.Errorf("%s: t>n gave decision=%v queries=%d", name, res.Decision, res.Queries)
+		}
+	}
+}
+
+func TestZeroParticipants(t *testing.T) {
+	for _, fac := range everyAlgorithm() {
+		res := runOne(t, fac, 0, 1, 0, onePlus(), 1)
+		if res.Decision {
+			t.Errorf("%s: n=0 t=1 decided true", algName(fac))
+		}
+	}
+}
+
+func TestValidateRejectsNegatives(t *testing.T) {
+	r := rng.New(1)
+	ch, _ := fastsim.RandomPositives(4, 0, onePlus(), r)
+	if _, err := (TwoTBins{}).Run(ch, -1, 2, r); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := (TwoTBins{}).Run(ch, 4, -2, r); err == nil {
+		t.Error("negative t accepted")
+	}
+}
+
+// TestQuickAllAlgorithmsCorrect is the central property test: on an ideal
+// radio every algorithm must answer the threshold question exactly, for
+// random (n, t, x) and both collision models.
+func TestQuickAllAlgorithmsCorrect(t *testing.T) {
+	algs := everyAlgorithm()
+	f := func(seed uint64, nRaw, tRaw, xRaw, algRaw uint8, two bool) bool {
+		n := int(nRaw%64) + 1
+		th := int(tRaw) % (n + 2)
+		x := int(xRaw) % (n + 1)
+		cfg := onePlus()
+		if two {
+			cfg = twoPlus()
+		}
+		r := rng.New(seed)
+		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		alg := algs[int(algRaw)%len(algs)](ch)
+		res, err := alg.Run(ch, n, th, r.Split(2))
+		if err != nil {
+			return false
+		}
+		return res.Decision == (x >= th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQueriesNeverExceedSequential: no algorithm should ever need
+// more group queries than there are nodes plus the number of rounds — a
+// loose sanity cap that catches runaway re-querying. (Each round polls at
+// most |candidates| non-empty bins and strictly resolves or shrinks; the
+// engine is also capped by maxRounds.)
+func TestQuickCostSanity(t *testing.T) {
+	f := func(seed uint64, xRaw uint8) bool {
+		const n, th = 64, 8
+		x := int(xRaw) % (n + 1)
+		r := rng.New(seed)
+		ch, _ := fastsim.RandomPositives(n, x, onePlus(), r.Split(1))
+		res, err := TwoTBins{}.Run(ch, n, th, r.Split(2))
+		if err != nil {
+			return false
+		}
+		// Worst-case bound from Section IV-A with slack for rounding:
+		// 2t bins per round, log2(N/2t)+2 rounds.
+		bound := 2 * th * (log2ceil(n/(2*th)) + 2)
+		return res.Queries <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func log2ceil(v int) int {
+	if v < 1 {
+		return 0
+	}
+	k := 0
+	for (1 << k) < v {
+		k++
+	}
+	return k
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	for _, fac := range everyAlgorithm() {
+		a := runOne(t, fac, 64, 8, 10, onePlus(), 99)
+		b := runOne(t, fac, 64, 8, 10, onePlus(), 99)
+		if a != b {
+			t.Errorf("%s: results differ for identical seeds: %+v vs %+v", algName(fac), a, b)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"tcast/internal/fastsim"
+	"tcast/internal/rng"
+)
+
+// Native fuzz targets complement the testing/quick properties: the fuzzer
+// explores the (seed, n, t, x) space for decision errors and estimator
+// pathologies.
+
+func FuzzThresholdDecision(f *testing.F) {
+	f.Add(uint64(1), uint8(32), uint8(8), uint8(4), uint8(0))
+	f.Add(uint64(2), uint8(64), uint8(16), uint8(16), uint8(1))
+	f.Add(uint64(3), uint8(7), uint8(0), uint8(7), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, tRaw, xRaw, algRaw uint8) {
+		n := int(nRaw%100) + 1
+		th := int(tRaw) % (n + 2)
+		x := int(xRaw) % (n + 1)
+		algs := []Algorithm{TwoTBins{}, ExpIncrease{}, ABNS{P0: 1}, ABNS{P0: 2}, ProbABNS{}}
+		alg := algs[int(algRaw)%len(algs)]
+		r := rng.New(seed)
+		ch, _ := fastsim.RandomPositives(n, x, fastsim.DefaultConfig(), r.Split(1))
+		res, err := alg.Run(ch, n, th, r.Split(2))
+		if err != nil {
+			t.Fatalf("%s(n=%d t=%d x=%d): %v", alg.Name(), n, th, x, err)
+		}
+		if res.Decision != (x >= th) {
+			t.Fatalf("%s(n=%d t=%d x=%d): wrong decision %v", alg.Name(), n, th, x, res.Decision)
+		}
+		if res.Queries < 0 || res.Rounds < 0 || res.Confirmed < 0 {
+			t.Fatalf("negative counters: %+v", res)
+		}
+	})
+}
+
+func FuzzEstimatePositives(f *testing.F) {
+	f.Add(uint8(0), uint8(10), 100.0)
+	f.Add(uint8(10), uint8(10), 1e9)
+	f.Add(uint8(255), uint8(1), 0.0)
+	f.Fuzz(func(t *testing.T, emptyRaw, binsRaw uint8, maxP float64) {
+		bins := int(binsRaw)
+		empty := int(emptyRaw)
+		if maxP < 0 {
+			maxP = -maxP
+		}
+		got := EstimatePositives(empty, bins, maxP)
+		if got < 0 || got > maxP {
+			t.Fatalf("EstimatePositives(%d, %d, %v) = %v out of [0, maxP]", empty, bins, maxP, got)
+		}
+		// Must be finite for every input.
+		if got != got { // NaN
+			t.Fatalf("EstimatePositives(%d, %d, %v) = NaN", empty, bins, maxP)
+		}
+	})
+}

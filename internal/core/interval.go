@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"tcast/internal/query"
+	"tcast/internal/rng"
+)
+
+// This file generalizes the threshold primitive along the lines of the
+// companion k+ decision-tree framework [4]: any monotone predicate over
+// the unknown positive count x reduces to threshold queries, and any
+// interval predicate reduces to two of them.
+
+// AtMost answers "x <= t?" — the complement threshold. It runs the given
+// algorithm (nil means ProbABNS) on the negated question x >= t+1.
+func AtMost(alg Algorithm, q query.Querier, n, t int, r *rng.Source) (Result, error) {
+	if alg == nil {
+		alg = ProbABNS{}
+	}
+	res, err := alg.Run(q, n, t+1, r)
+	if err != nil {
+		return res, err
+	}
+	res.Decision = !res.Decision
+	return res, nil
+}
+
+// Between answers "lo <= x <= hi?" with two threshold sessions (short-
+// circuiting when the first already refutes the interval). It returns the
+// combined decision and the total query cost.
+func Between(alg Algorithm, q query.Querier, n, lo, hi int, r *rng.Source) (Result, error) {
+	if lo > hi {
+		return Result{}, fmt.Errorf("core: empty interval [%d,%d]", lo, hi)
+	}
+	if alg == nil {
+		alg = ProbABNS{}
+	}
+	// First: x >= lo?
+	first, err := alg.Run(q, n, lo, r.Split(1))
+	if err != nil {
+		return first, err
+	}
+	if !first.Decision {
+		first.Decision = false
+		return first, nil
+	}
+	// Then: x <= hi?
+	second, err := AtMost(alg, q, n, hi, r.Split(2))
+	if err != nil {
+		return second, err
+	}
+	return Result{
+		Decision:  second.Decision,
+		Queries:   first.Queries + second.Queries,
+		Rounds:    first.Rounds + second.Rounds,
+		Confirmed: first.Confirmed + second.Confirmed,
+	}, nil
+}
+
+// MonotonePredicate is a predicate over the positive count that flips at
+// most once from false to true as the count grows (e.g. "enough detectors
+// corroborate").
+type MonotonePredicate func(count int) bool
+
+// EvaluateMonotone answers an arbitrary monotone predicate of x with one
+// threshold session: it binary-searches the predicate's flip point over
+// [0, n] (no queries — the predicate is a pure function) and then asks
+// the single threshold question that decides it. It returns an error if
+// the predicate is found to be non-monotone at the probed points.
+func EvaluateMonotone(alg Algorithm, q query.Querier, n int, f MonotonePredicate, r *rng.Source) (Result, error) {
+	if alg == nil {
+		alg = ProbABNS{}
+	}
+	if f(0) {
+		// Monotone and true at zero: true everywhere.
+		if !f(n) {
+			return Result{}, fmt.Errorf("core: predicate not monotone (true at 0, false at %d)", n)
+		}
+		return Result{Decision: true}, nil
+	}
+	if !f(n) {
+		// False at n: false everywhere.
+		return Result{Decision: false}, nil
+	}
+	// Find the smallest t with f(t) true.
+	lo, hi := 0, n // f(lo) false, f(hi) true
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if f(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return alg.Run(q, n, hi, r)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcast/internal/fastsim"
+	"tcast/internal/rng"
+)
+
+func TestAtMost(t *testing.T) {
+	for _, tc := range []struct {
+		x, t int
+		want bool
+	}{
+		{0, 0, true}, {1, 0, false}, {5, 5, true}, {6, 5, false}, {3, 10, true},
+	} {
+		r := rng.New(uint64(tc.x*100 + tc.t))
+		ch, _ := fastsim.RandomPositives(32, tc.x, fastsim.DefaultConfig(), r.Split(1))
+		res, err := AtMost(nil, ch, 32, tc.t, r.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decision != tc.want {
+			t.Fatalf("AtMost(x=%d, t=%d) = %v, want %v", tc.x, tc.t, res.Decision, tc.want)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	for _, tc := range []struct {
+		x, lo, hi int
+		want      bool
+	}{
+		{5, 4, 8, true}, {5, 5, 5, true}, {5, 6, 8, false}, {5, 0, 4, false},
+		{0, 0, 0, true}, {0, 1, 3, false}, {32, 30, 32, true},
+	} {
+		r := rng.New(uint64(tc.x*1000 + tc.lo*10 + tc.hi))
+		ch, _ := fastsim.RandomPositives(32, tc.x, fastsim.DefaultConfig(), r.Split(1))
+		res, err := Between(TwoTBins{}, ch, 32, tc.lo, tc.hi, r.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decision != tc.want {
+			t.Fatalf("Between(x=%d, [%d,%d]) = %v, want %v", tc.x, tc.lo, tc.hi, res.Decision, tc.want)
+		}
+	}
+}
+
+func TestBetweenRejectsEmptyInterval(t *testing.T) {
+	r := rng.New(1)
+	ch, _ := fastsim.RandomPositives(8, 2, fastsim.DefaultConfig(), r)
+	if _, err := Between(nil, ch, 8, 5, 4, r); err == nil {
+		t.Fatal("empty interval accepted")
+	}
+}
+
+func TestBetweenShortCircuits(t *testing.T) {
+	// x far below lo: the first threshold query refutes the interval
+	// and the second never runs, so the cost stays that of one session.
+	r := rng.New(2)
+	ch, _ := fastsim.RandomPositives(128, 0, fastsim.DefaultConfig(), r.Split(1))
+	res, err := Between(TwoTBins{}, ch, 128, 16, 32, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision {
+		t.Fatal("wrong decision")
+	}
+	// One x=0 session costs 29 polls (see TestTwoTBinsNoPositivesCost);
+	// a second session would roughly double it.
+	if res.Queries > 35 {
+		t.Fatalf("short-circuit failed: %d queries", res.Queries)
+	}
+}
+
+func TestQuickBetweenCorrect(t *testing.T) {
+	f := func(seed uint64, xRaw, loRaw, hiRaw uint8) bool {
+		const n = 40
+		x := int(xRaw) % (n + 1)
+		lo := int(loRaw) % (n + 1)
+		hi := lo + int(hiRaw)%(n+1-lo)
+		r := rng.New(seed)
+		ch, _ := fastsim.RandomPositives(n, x, fastsim.DefaultConfig(), r.Split(1))
+		res, err := Between(TwoTBins{}, ch, n, lo, hi, r.Split(2))
+		if err != nil {
+			return false
+		}
+		return res.Decision == (x >= lo && x <= hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateMonotone(t *testing.T) {
+	const n = 64
+	for _, tc := range []struct {
+		x    int
+		flip int // predicate: count >= flip
+		want bool
+	}{
+		{10, 5, true}, {10, 10, true}, {10, 11, false}, {0, 1, false}, {64, 64, true},
+	} {
+		r := rng.New(uint64(tc.x*100 + tc.flip))
+		ch, _ := fastsim.RandomPositives(n, tc.x, fastsim.DefaultConfig(), r.Split(1))
+		res, err := EvaluateMonotone(TwoTBins{}, ch, n, func(c int) bool { return c >= tc.flip }, r.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decision != tc.want {
+			t.Fatalf("x=%d flip=%d: %v, want %v", tc.x, tc.flip, res.Decision, tc.want)
+		}
+	}
+}
+
+func TestEvaluateMonotoneConstantPredicates(t *testing.T) {
+	r := rng.New(3)
+	ch, _ := fastsim.RandomPositives(16, 5, fastsim.DefaultConfig(), r.Split(1))
+	res, err := EvaluateMonotone(nil, ch, 16, func(int) bool { return true }, r.Split(2))
+	if err != nil || !res.Decision || res.Queries != 0 {
+		t.Fatalf("always-true: %+v, %v", res, err)
+	}
+	res, err = EvaluateMonotone(nil, ch, 16, func(int) bool { return false }, r.Split(3))
+	if err != nil || res.Decision || res.Queries != 0 {
+		t.Fatalf("always-false: %+v, %v", res, err)
+	}
+}
+
+func TestEvaluateMonotoneDetectsNonMonotone(t *testing.T) {
+	r := rng.New(4)
+	ch, _ := fastsim.RandomPositives(16, 5, fastsim.DefaultConfig(), r.Split(1))
+	// True at 0 but false at n: provably non-monotone.
+	if _, err := EvaluateMonotone(nil, ch, 16, func(c int) bool { return c == 0 }, r.Split(2)); err == nil {
+		t.Fatal("non-monotone predicate accepted")
+	}
+}

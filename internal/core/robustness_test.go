@@ -1,0 +1,125 @@
+package core
+
+// Failure-injection tests: how the algorithms degrade on imperfect radios.
+// The structural claims mirror the testbed analysis (Section IV-D): reply
+// loss can only produce false negatives, interference-style false activity
+// can only produce false positives, and both error rates move
+// monotonically with the corresponding fault probability.
+
+import (
+	"testing"
+
+	"tcast/internal/fastsim"
+	"tcast/internal/rng"
+)
+
+// errorProfile runs trials and splits wrong decisions by direction.
+func errorProfile(t *testing.T, alg Algorithm, n, th, x, runs int, cfg fastsim.Config, seed uint64) (falsePos, falseNeg int) {
+	t.Helper()
+	root := rng.New(seed)
+	for i := 0; i < runs; i++ {
+		r := root.Split(uint64(i))
+		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		res, err := alg.Run(ch, n, th, r.Split(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := x >= th
+		if res.Decision && !truth {
+			falsePos++
+		}
+		if !res.Decision && truth {
+			falseNeg++
+		}
+	}
+	return falsePos, falseNeg
+}
+
+func TestLossOnlyCausesFalseNegatives(t *testing.T) {
+	// Silence can be fabricated by loss, activity cannot: every wrong
+	// decision under pure reply loss must be a false negative.
+	cfg := fastsim.DefaultConfig()
+	cfg.MissProb = 0.2
+	for _, alg := range []Algorithm{TwoTBins{}, ExpIncrease{}, ABNS{P0: 2}, ProbABNS{}} {
+		for _, x := range []int{8, 9, 12} {
+			fp, _ := errorProfile(t, alg, 32, 8, x, 100, cfg, uint64(x))
+			if fp != 0 {
+				t.Errorf("%s x=%d: %d false positives under loss-only faults", alg.Name(), x, fp)
+			}
+		}
+	}
+}
+
+func TestFalseNegativeRateMonotoneInLoss(t *testing.T) {
+	const n, th, x, runs = 32, 8, 9, 400
+	rates := make([]int, 0, 3)
+	for _, miss := range []float64{0.02, 0.1, 0.3} {
+		cfg := fastsim.DefaultConfig()
+		cfg.MissProb = miss
+		_, fn := errorProfile(t, TwoTBins{}, n, th, x, runs, cfg, uint64(miss*1000))
+		rates = append(rates, fn)
+	}
+	if !(rates[0] <= rates[1] && rates[1] <= rates[2]) {
+		t.Fatalf("false-negative counts not monotone in loss: %v", rates)
+	}
+	if rates[2] == 0 {
+		t.Fatal("30% loss produced no false negatives at x=t+1")
+	}
+}
+
+func TestInterferenceOnlyCausesFalsePositives(t *testing.T) {
+	// Pollcast-style false activity fabricates positives but never
+	// hides them: with x >= t the decision stays correct.
+	cfg := fastsim.DefaultConfig()
+	cfg.FalseActiveProb = 0.3
+	for _, x := range []int{8, 16, 32} {
+		_, fn := errorProfile(t, TwoTBins{}, 32, 8, x, 100, cfg, uint64(300+x))
+		if fn != 0 {
+			t.Errorf("x=%d: %d false negatives under interference-only faults", x, fn)
+		}
+	}
+}
+
+func TestFalsePositiveRateMonotoneInInterference(t *testing.T) {
+	const n, th, x, runs = 32, 8, 2, 400
+	counts := make([]int, 0, 3)
+	for _, p := range []float64{0.02, 0.1, 0.3} {
+		cfg := fastsim.DefaultConfig()
+		cfg.FalseActiveProb = p
+		fp, _ := errorProfile(t, TwoTBins{}, n, th, x, runs, cfg, uint64(p*1000))
+		counts = append(counts, fp)
+	}
+	if !(counts[0] <= counts[1] && counts[1] <= counts[2]) {
+		t.Fatalf("false-positive counts not monotone in interference: %v", counts)
+	}
+	if counts[2] == 0 {
+		t.Fatal("30% false activity produced no false positives at x=2")
+	}
+}
+
+func TestFarFromThresholdIsRobust(t *testing.T) {
+	// Losses mostly hurt near x ≈ t; far above threshold the redundancy
+	// of superposed replies absorbs them (the testbed's observation).
+	cfg := fastsim.DefaultConfig()
+	cfg.MissProb = 0.1
+	_, fnNear := errorProfile(t, TwoTBins{}, 32, 8, 8, 400, cfg, 1)
+	_, fnFar := errorProfile(t, TwoTBins{}, 32, 8, 28, 400, cfg, 2)
+	if fnFar >= fnNear {
+		t.Fatalf("false negatives not concentrated near the threshold: near=%d far=%d", fnNear, fnFar)
+	}
+}
+
+func TestTwoPlusLossyStillTerminates(t *testing.T) {
+	// Sanity: the 2+ model with both loss and capture faults must never
+	// hit the round cap.
+	cfg := fastsim.TwoPlusConfig()
+	cfg.MissProb = 0.3
+	root := rng.New(9)
+	for i := 0; i < 100; i++ {
+		r := root.Split(uint64(i))
+		ch, _ := fastsim.RandomPositives(48, 12, cfg, r.Split(1))
+		if _, err := (ABNS{P0: 1}).Run(ch, 48, 12, r.Split(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+// Soak tests: broad randomized sweeps beyond what testing/quick covers.
+// Skipped under -short.
+
+import (
+	"testing"
+
+	"tcast/internal/fastsim"
+	"tcast/internal/rng"
+)
+
+func TestSoakAllAlgorithmsAllModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak sweep skipped with -short")
+	}
+	algs := everyAlgorithm()
+	cfgs := []fastsim.Config{onePlus(), twoPlus(), idealTwoPlus()}
+	root := rng.New(0xC0FFEE)
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		r := root.Split(uint64(i))
+		pick := r.Split(1)
+		n := pick.Intn(200) + 1
+		th := pick.Intn(n + 2)
+		x := pick.Intn(n + 1)
+		cfg := cfgs[pick.Intn(len(cfgs))]
+		fac := algs[pick.Intn(len(algs))]
+		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(2))
+		res, err := fac(ch).Run(ch, n, th, r.Split(3))
+		if err != nil {
+			t.Fatalf("trial %d (n=%d t=%d x=%d %s): %v", i, n, th, x, fac(ch).Name(), err)
+		}
+		if res.Decision != (x >= th) {
+			t.Fatalf("trial %d (n=%d t=%d x=%d %s): wrong decision", i, n, th, x, fac(ch).Name())
+		}
+	}
+}
+
+func TestLargeNetworkCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n sweep skipped with -short")
+	}
+	const n = 4096
+	for _, tc := range []struct{ th, x int }{
+		{64, 0}, {64, 63}, {64, 64}, {64, 65}, {64, 2048}, {64, 4096},
+		{1, 1}, {4096, 4096}, {4096, 4095},
+	} {
+		for _, fac := range []algFactory{plain(TwoTBins{}), plain(ProbABNS{})} {
+			res := checkCorrect(t, fac, n, tc.th, tc.x, onePlus(), uint64(tc.th*10000+tc.x))
+			// Even at n=4096 the cost stays dramatically sublinear
+			// except near the threshold.
+			if tc.x == 0 && res.Queries > 300 {
+				t.Errorf("%s: x=0 cost %d at n=%d", algName(fac), res.Queries, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package count
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tcast/internal/fastsim"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+)
+
+func identifyOn(t *testing.T, n, x int, cfg fastsim.Config, seed uint64) ([]int, []int, int) {
+	t.Helper()
+	r := rng.New(seed)
+	ch, truth := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+	got, queries, err := Identify(ch, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, truth.Members(), queries
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIdentifyExactOnePlus(t *testing.T) {
+	for _, tc := range []struct{ n, x int }{
+		{1, 0}, {1, 1}, {16, 0}, {16, 1}, {16, 16}, {64, 5}, {128, 20}, {100, 99},
+	} {
+		for seed := uint64(0); seed < 3; seed++ {
+			got, want, _ := identifyOn(t, tc.n, tc.x, fastsim.DefaultConfig(), seed)
+			if !sameInts(got, want) {
+				t.Fatalf("n=%d x=%d seed=%d: got %v, want %v", tc.n, tc.x, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestIdentifyExactTwoPlus(t *testing.T) {
+	for _, cfg := range []fastsim.Config{
+		fastsim.TwoPlusConfig(),
+		{Model: query.TwoPlus, Capture: fastsim.NoCapture(), CaptureEffectPresent: false},
+	} {
+		for seed := uint64(0); seed < 3; seed++ {
+			got, want, _ := identifyOn(t, 64, 10, cfg, seed)
+			if !sameInts(got, want) {
+				t.Fatalf("2+ seed=%d: got %v, want %v", seed, got, want)
+			}
+		}
+	}
+}
+
+func TestIdentifyZeroPositivesOneQuery(t *testing.T) {
+	_, _, queries := identifyOn(t, 128, 0, fastsim.DefaultConfig(), 1)
+	if queries != 1 {
+		t.Fatalf("x=0 used %d queries, want 1", queries)
+	}
+}
+
+func TestIdentifyQueryBound(t *testing.T) {
+	// Binary splitting costs at most ~2x·(log2 n + 1) + 1.
+	const n = 128
+	for _, x := range []int{1, 4, 16, 64} {
+		_, _, queries := identifyOn(t, n, x, fastsim.DefaultConfig(), uint64(x))
+		bound := 2*x*(8+1) + 1
+		if queries > bound {
+			t.Fatalf("x=%d: %d queries exceeds bound %d", x, queries, bound)
+		}
+	}
+}
+
+func TestIdentifyEdgeCases(t *testing.T) {
+	r := rng.New(1)
+	ch, _ := fastsim.RandomPositives(0, 0, fastsim.DefaultConfig(), r)
+	got, queries, err := Identify(ch, 0)
+	if err != nil || len(got) != 0 || queries != 0 {
+		t.Fatalf("n=0: %v, %d, %v", got, queries, err)
+	}
+	if _, _, err := Identify(ch, -1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestQuickIdentifyExact(t *testing.T) {
+	f := func(seed uint64, nRaw, xRaw uint8, twoPlus bool) bool {
+		n := int(nRaw%100) + 1
+		x := int(xRaw) % (n + 1)
+		cfg := fastsim.DefaultConfig()
+		if twoPlus {
+			cfg = fastsim.TwoPlusConfig()
+		}
+		r := rng.New(seed)
+		ch, truth := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		got, _, err := Identify(ch, n)
+		if err != nil {
+			return false
+		}
+		return sameInts(got, truth.Members())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func members(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func TestEstimateZeroExact(t *testing.T) {
+	r := rng.New(2)
+	ch, _ := fastsim.RandomPositives(64, 0, fastsim.DefaultConfig(), r.Split(1))
+	xHat, queries := Estimate(ch, members(64), EstimateOptions{Repeats: 8}, r.Split(2))
+	if xHat != 0 {
+		t.Fatalf("x=0 estimated as %v", xHat)
+	}
+	if queries != 8 {
+		t.Fatalf("x=0 used %d queries, want 8 (one level)", queries)
+	}
+}
+
+func TestEstimateEmptyMembers(t *testing.T) {
+	r := rng.New(3)
+	ch, _ := fastsim.RandomPositives(4, 2, fastsim.DefaultConfig(), r.Split(1))
+	xHat, queries := Estimate(ch, nil, EstimateOptions{}, r.Split(2))
+	if xHat != 0 || queries != 0 {
+		t.Fatalf("empty members: %v, %d", xHat, queries)
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// The geometric estimator should land within a factor of two of the
+	// truth on average for a spread of cardinalities.
+	const n, trials = 512, 60
+	for _, x := range []int{4, 16, 64, 200} {
+		var logErr float64
+		root := rng.New(uint64(100 + x))
+		for i := 0; i < trials; i++ {
+			r := root.Split(uint64(i))
+			ch, _ := fastsim.RandomPositives(n, x, fastsim.DefaultConfig(), r.Split(1))
+			xHat, _ := Estimate(ch, members(n), EstimateOptions{Repeats: 32}, r.Split(2))
+			if xHat <= 0 {
+				t.Fatalf("x=%d estimated as %v", x, xHat)
+			}
+			logErr += math.Abs(math.Log2(xHat / float64(x)))
+		}
+		if mean := logErr / trials; mean > 1 {
+			t.Errorf("x=%d: mean |log2 error| = %v, want <= 1 (factor 2)", x, mean)
+		}
+	}
+}
+
+func TestEstimateQueryBudget(t *testing.T) {
+	// Cost is O(Repeats · log n), never O(n).
+	const n = 4096
+	r := rng.New(9)
+	ch, _ := fastsim.RandomPositives(n, 100, fastsim.DefaultConfig(), r.Split(1))
+	_, queries := Estimate(ch, members(n), EstimateOptions{Repeats: 16}, r.Split(2))
+	maxLevels := 14 // log2(4096)=12, plus slack
+	if queries > 16*maxLevels {
+		t.Fatalf("%d queries exceeds budget %d", queries, 16*maxLevels)
+	}
+}
+
+func TestEstimateMonotoneQueries(t *testing.T) {
+	// More positives stop the cascade later, so queries grow (weakly)
+	// with x on average.
+	const n = 256
+	avg := func(x int) float64 {
+		total := 0
+		root := rng.New(uint64(500 + x))
+		for i := 0; i < 40; i++ {
+			r := root.Split(uint64(i))
+			ch, _ := fastsim.RandomPositives(n, x, fastsim.DefaultConfig(), r.Split(1))
+			_, q := Estimate(ch, members(n), EstimateOptions{Repeats: 8}, r.Split(2))
+			total += q
+		}
+		return float64(total) / 40
+	}
+	if avg(2) >= avg(128) {
+		t.Fatalf("query cost did not grow with x: %v vs %v", avg(2), avg(128))
+	}
+}
+
+func BenchmarkIdentify(b *testing.B) {
+	root := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		r := root.Split(uint64(i))
+		ch, _ := fastsim.RandomPositives(128, 16, fastsim.DefaultConfig(), r)
+		if _, _, err := Identify(ch, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	root := rng.New(1)
+	m := members(512)
+	for i := 0; i < b.N; i++ {
+		r := root.Split(uint64(i))
+		ch, _ := fastsim.RandomPositives(512, 64, fastsim.DefaultConfig(), r.Split(1))
+		Estimate(ch, m, EstimateOptions{Repeats: 16}, r.Split(2))
+	}
+}

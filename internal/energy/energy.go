@@ -1,0 +1,188 @@
+// Package energy models per-node radio energy for the feedback schemes,
+// using CC2420 current draws and the 802.15.4 air times from package
+// timing. The paper motivates tcast with "bandwidth, energy and latency
+// concerns"; this package quantifies the energy axis:
+//
+//   - tcast/backcast: everyone hears one bind per round; only polled bin
+//     members wake for a short poll; only positives transmit a 352 µs
+//     HACK; everyone else naps.
+//   - CSMA: every contender must carrier-sense — receive — until its own
+//     reply gets through, so listening dominates.
+//   - sequential: nodes sleep until their scheduled slot, the cheapest
+//     for participants, while the initiator listens through all of it.
+package energy
+
+import (
+	"time"
+
+	"tcast/internal/timing"
+	"tcast/internal/trace"
+)
+
+// Model holds radio current draws (mA) and the supply voltage (V).
+type Model struct {
+	RxmA, TxmA, IdlemA float64
+	Voltage            float64
+}
+
+// CC2420 returns the TelosB radio's datasheet draws: 18.8 mA RX, 17.4 mA
+// TX at 0 dBm, 0.4 mA idle, 3 V supply.
+func CC2420() Model {
+	return Model{RxmA: 18.8, TxmA: 17.4, IdlemA: 0.4, Voltage: 3}
+}
+
+// millijoules converts a duration at a current draw into mJ.
+func (m Model) millijoules(d time.Duration, mA float64) float64 {
+	return m.Voltage * mA * d.Seconds() // V · mA · s = mW·s·10⁻³·10³ = mJ
+}
+
+// Report is the energy bill of one session, in millijoules.
+type Report struct {
+	// Initiator is the querying node's energy.
+	Initiator float64
+	// PerNode is each participant's energy, indexed by node ID.
+	PerNode []float64
+}
+
+// MeanNode returns the average participant energy.
+func (r Report) MeanNode() float64 {
+	if len(r.PerNode) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, e := range r.PerNode {
+		total += e
+	}
+	return total / float64(len(r.PerNode))
+}
+
+// MaxNode returns the largest participant energy.
+func (r Report) MaxNode() float64 {
+	max := 0.0
+	for _, e := range r.PerNode {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Total returns the whole network's energy including the initiator.
+func (r Report) Total() float64 {
+	total := r.Initiator
+	for _, e := range r.PerNode {
+		total += e
+	}
+	return total
+}
+
+// TcastSession computes the energy of one traced tcast-over-backcast
+// session with the given rounds, over n participants whose ground truth
+// is isPositive.
+func TcastSession(m Model, c timing.Costs, rounds int, events []trace.Event, n int, isPositive func(id int) bool) Report {
+	pollAir := timing.FrameAirtime(3)
+	ackAir := timing.AckAirtime()
+	sessionTime := c.TcastLatency(len(events), rounds)
+
+	rep := Report{PerNode: make([]float64, n)}
+	// Initiator: transmits every bind and poll, listens for every ACK
+	// window, idles through turnarounds.
+	txTime := time.Duration(rounds)*c.RoundBind + time.Duration(len(events))*pollAir
+	rxTime := time.Duration(len(events)) * ackAir
+	idleTime := sessionTime - txTime - rxTime
+	if idleTime < 0 {
+		idleTime = 0
+	}
+	rep.Initiator = m.millijoules(txTime, m.TxmA) + m.millijoules(rxTime, m.RxmA) + m.millijoules(idleTime, m.IdlemA)
+
+	// Participants: everyone receives each round's bind; polled bin
+	// members receive the poll; polled positives transmit the HACK;
+	// the rest of the session is idle/sleep.
+	bindRx := time.Duration(rounds) * c.RoundBind
+	rx := make([]time.Duration, n)
+	tx := make([]time.Duration, n)
+	for _, e := range events {
+		for _, id := range e.Bin {
+			if id < 0 || id >= n {
+				continue
+			}
+			rx[id] += pollAir
+			if isPositive(id) {
+				tx[id] += ackAir
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		active := bindRx + rx[id] + tx[id]
+		idle := sessionTime - active
+		if idle < 0 {
+			idle = 0
+		}
+		rep.PerNode[id] = m.millijoules(bindRx+rx[id], m.RxmA) +
+			m.millijoules(tx[id], m.TxmA) +
+			m.millijoules(idle, m.IdlemA)
+	}
+	return rep
+}
+
+// CSMASession computes the energy of one CSMA collection: the initiator
+// and every contender listen for the whole session (carrier sensing is
+// receiving); each delivered reply is one transmission. positives lists
+// the contending node IDs; delivered of them got through.
+func CSMASession(m Model, c timing.Costs, slots, delivered, n int, positives []int) Report {
+	frameAir := timing.FrameAirtime(2)
+	sessionTime := c.CSMALatency(slots, delivered)
+
+	rep := Report{PerNode: make([]float64, n)}
+	rep.Initiator = m.millijoules(sessionTime, m.RxmA)
+	contender := make(map[int]bool, len(positives))
+	for _, id := range positives {
+		contender[id] = true
+	}
+	for id := 0; id < n; id++ {
+		if !contender[id] {
+			// Negative nodes have nothing to send and sleep through
+			// the contention.
+			rep.PerNode[id] = m.millijoules(sessionTime, m.IdlemA)
+			continue
+		}
+		// Conservative: a contender carrier-senses for the whole
+		// session and transmits once.
+		listen := sessionTime - frameAir
+		if listen < 0 {
+			listen = 0
+		}
+		rep.PerNode[id] = m.millijoules(listen, m.RxmA) + m.millijoules(frameAir, m.TxmA)
+	}
+	return rep
+}
+
+// SequentialSession computes the energy of one TDMA collection over a
+// random schedule: every node receives the schedule broadcast, sleeps
+// until its own slot, and transmits only if positive and scheduled before
+// the early-termination point (slots).
+func SequentialSession(m Model, c timing.Costs, slots, n int, isPositive func(id int) bool, order []int) Report {
+	frameAir := timing.FrameAirtime(2)
+	scheduleAir := timing.FrameAirtime(2 * n / 8)
+	sessionTime := c.SequentialLatency(slots)
+
+	rep := Report{PerNode: make([]float64, n)}
+	rep.Initiator = m.millijoules(sessionTime, m.RxmA)
+	scheduledBeforeStop := make(map[int]bool, slots)
+	for i := 0; i < slots && i < len(order); i++ {
+		scheduledBeforeStop[order[i]] = true
+	}
+	for id := 0; id < n; id++ {
+		active := scheduleAir
+		var tx time.Duration
+		if scheduledBeforeStop[id] && isPositive(id) {
+			tx = frameAir
+		}
+		idle := sessionTime - active - tx
+		if idle < 0 {
+			idle = 0
+		}
+		rep.PerNode[id] = m.millijoules(active, m.RxmA) + m.millijoules(tx, m.TxmA) + m.millijoules(idle, m.IdlemA)
+	}
+	return rep
+}

@@ -1,0 +1,163 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tcast/internal/core"
+	"tcast/internal/fastsim"
+	"tcast/internal/rng"
+	"tcast/internal/timing"
+	"tcast/internal/trace"
+)
+
+func TestCC2420Model(t *testing.T) {
+	m := CC2420()
+	if m.RxmA <= m.TxmA {
+		// On the CC2420, listening costs MORE than transmitting at
+		// 0 dBm — the fact that makes idle listening the energy killer.
+		t.Fatal("CC2420 RX draw must exceed TX draw")
+	}
+	// 1 second at 18.8 mA and 3 V is 56.4 mJ.
+	if got := m.millijoules(time.Second, 18.8); math.Abs(got-56.4) > 1e-9 {
+		t.Fatalf("millijoules = %v, want 56.4", got)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := Report{Initiator: 5, PerNode: []float64{1, 2, 3}}
+	if r.MeanNode() != 2 {
+		t.Fatalf("MeanNode = %v", r.MeanNode())
+	}
+	if r.MaxNode() != 3 {
+		t.Fatalf("MaxNode = %v", r.MaxNode())
+	}
+	if r.Total() != 11 {
+		t.Fatalf("Total = %v", r.Total())
+	}
+	empty := Report{}
+	if empty.MeanNode() != 0 || empty.MaxNode() != 0 {
+		t.Fatal("empty report helpers wrong")
+	}
+}
+
+// tracedSession runs one tcast session and returns its trace and result.
+func tracedSession(t *testing.T, n, th, x int, seed uint64) (*trace.Recorder, core.Result, *fastsim.Channel) {
+	t.Helper()
+	r := rng.New(seed)
+	ch, _ := fastsim.RandomPositives(n, x, fastsim.DefaultConfig(), r.Split(1))
+	rec := trace.NewRecorder(ch)
+	res, err := (core.TwoTBins{}).Run(rec, n, th, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res, ch
+}
+
+func TestTcastSessionAccounting(t *testing.T) {
+	const n, th, x = 32, 8, 12
+	rec, res, ch := tracedSession(t, n, th, x, 1)
+	m := CC2420()
+	c := timing.DefaultCosts(n)
+	rep := TcastSession(m, c, res.Rounds, rec.Events(), n, ch.IsPositive)
+	if len(rep.PerNode) != n {
+		t.Fatalf("PerNode length %d", len(rep.PerNode))
+	}
+	if rep.Initiator <= 0 {
+		t.Fatal("initiator energy not positive")
+	}
+	for id, e := range rep.PerNode {
+		if e <= 0 {
+			t.Fatalf("node %d energy %v", id, e)
+		}
+	}
+	// Positives transmit HACKs, so on average they outspend negatives.
+	var posSum, negSum float64
+	var posN, negN int
+	for id, e := range rep.PerNode {
+		if ch.IsPositive(id) {
+			posSum += e
+			posN++
+		} else {
+			negSum += e
+			negN++
+		}
+	}
+	if posSum/float64(posN) <= negSum/float64(negN) {
+		t.Fatal("positives did not outspend negatives")
+	}
+	// The initiator transmits every poll: it must outspend any single
+	// participant.
+	if rep.Initiator <= rep.MaxNode() {
+		t.Fatalf("initiator %v not above max node %v", rep.Initiator, rep.MaxNode())
+	}
+}
+
+func TestCSMAListeningDominates(t *testing.T) {
+	// A CSMA contender listens through the whole session; a tcast
+	// participant naps between short polls. For equal-duration
+	// deployments the contender pays close to RX-always.
+	m := CC2420()
+	c := timing.DefaultCosts(32)
+	positives := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	rep := CSMASession(m, c, 60, 8, 32, positives)
+	sessionTime := c.CSMALatency(60, 8)
+	rxAlways := m.millijoules(sessionTime, m.RxmA)
+	for _, id := range positives {
+		if rep.PerNode[id] < 0.8*rxAlways {
+			t.Fatalf("contender %d pays %v, want near rx-always %v", id, rep.PerNode[id], rxAlways)
+		}
+	}
+	// Non-contenders sleep.
+	if rep.PerNode[20] >= rep.PerNode[1] {
+		t.Fatal("sleeper not cheaper than contender")
+	}
+}
+
+func TestSequentialSleepersAreCheap(t *testing.T) {
+	m := CC2420()
+	c := timing.DefaultCosts(32)
+	order := make([]int, 32)
+	for i := range order {
+		order[i] = i
+	}
+	rep := SequentialSession(m, c, 32, 32, func(id int) bool { return id < 4 }, order)
+	// Every participant's bill is far below the initiator's rx-always.
+	for id, e := range rep.PerNode {
+		if e >= rep.Initiator/2 {
+			t.Fatalf("node %d pays %v vs initiator %v", id, e, rep.Initiator)
+		}
+	}
+	// Positives pay slightly more (they transmit).
+	if rep.PerNode[0] <= rep.PerNode[30] {
+		t.Fatal("transmitting node not above sleeping node")
+	}
+}
+
+func TestSchemeComparisonAtModerateX(t *testing.T) {
+	// The qualitative energy story: per-participant, sequential is the
+	// floor, tcast is close, CSMA's mandatory listening is the ceiling.
+	const n, th, x = 64, 16, 32
+	rec, res, ch := tracedSession(t, n, th, x, 2)
+	m := CC2420()
+	c := timing.DefaultCosts(n)
+	tcastRep := TcastSession(m, c, res.Rounds, rec.Events(), n, ch.IsPositive)
+
+	positives := make([]int, 0, x)
+	for id := 0; id < n; id++ {
+		if ch.IsPositive(id) {
+			positives = append(positives, id)
+		}
+	}
+	// Plausible CSMA cost for x=32, t=16 (from the Fig 1 data: ~88
+	// slots, 16 deliveries).
+	csmaRep := CSMASession(m, c, 88, 16, n, positives)
+	order := rng.New(3).Perm(n)
+	seqRep := SequentialSession(m, c, 40, n, ch.IsPositive, order)
+
+	if !(seqRep.MeanNode() < tcastRep.MeanNode() && tcastRep.MeanNode() < csmaRep.MeanNode()) {
+		t.Fatalf("energy ordering violated: seq=%v tcast=%v csma=%v",
+			seqRep.MeanNode(), tcastRep.MeanNode(), csmaRep.MeanNode())
+	}
+}

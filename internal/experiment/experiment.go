@@ -1,0 +1,187 @@
+// Package experiment is the harness that regenerates every table and
+// figure of the paper's evaluation. Each figure is a named experiment that
+// sweeps a parameter, runs many independent trials per point (in parallel,
+// deterministically), and returns a stats.Table whose series correspond to
+// the curves of the original figure.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tcast/internal/core"
+	"tcast/internal/fastsim"
+	"tcast/internal/rng"
+	"tcast/internal/stats"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Runs is the number of trials per point. The paper uses 1000 for
+	// simulations and 100 per mote configuration; zero selects those
+	// defaults.
+	Runs int
+	// Seed is the root seed; every (point, trial) derives its own
+	// stream, so results are independent of scheduling.
+	Seed uint64
+	// Workers bounds trial parallelism; zero means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) runs(def int) int {
+	if o.Runs > 0 {
+		return o.Runs
+	}
+	return def
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunTrials evaluates trial runs times on independent derived streams,
+// fanned out over the worker pool, returning the per-trial values in
+// trial-index order. Trial i always receives the stream root.Split(i), so
+// the output is bit-identical regardless of worker count.
+func RunTrials(runs, workers int, root *rng.Source, trial func(r *rng.Source) (float64, error)) ([]float64, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("experiment: runs must be positive, got %d", runs)
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > runs {
+		workers = runs
+	}
+	values := make([]float64, runs)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < runs; i += workers {
+				v, err := trial(root.Split(uint64(i)))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				values[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return values, nil
+}
+
+// MeanParallel runs RunTrials and folds the values (in index order, so
+// floating-point accumulation is deterministic) into a stats.Running.
+func MeanParallel(runs, workers int, root *rng.Source, trial func(r *rng.Source) (float64, error)) (stats.Running, error) {
+	values, err := RunTrials(runs, workers, root, trial)
+	if err != nil {
+		return stats.Running{}, err
+	}
+	var total stats.Running
+	for _, v := range values {
+		total.Observe(v)
+	}
+	return total, nil
+}
+
+// pointCost is the per-trial measurement for one sweep point.
+type pointCost func(r *rng.Source) (float64, error)
+
+// sweep builds one series by evaluating cost at every x.
+func sweep(name string, xs []int, runs, workers int, root *rng.Source, cost func(x int) pointCost) (*stats.Series, error) {
+	s := &stats.Series{Name: name}
+	for _, x := range xs {
+		acc, err := MeanParallel(runs, workers, root.Split(uint64(x)), cost(x))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: series %s at x=%d: %w", name, x, err)
+		}
+		s.Append(stats.Point{X: float64(x), Y: acc.Mean(), Err: acc.CI95(), N: acc.N()})
+	}
+	return s, nil
+}
+
+// algChannelFactory builds the algorithm for one trial's channel (the
+// Oracle needs the trial's ground truth).
+type algChannelFactory func(ch *fastsim.Channel) core.Algorithm
+
+func plainAlg(a core.Algorithm) algChannelFactory {
+	return func(*fastsim.Channel) core.Algorithm { return a }
+}
+
+// tcastCost measures one tcast session's query count on a fresh channel
+// with exactly x positives.
+func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config) pointCost {
+	return func(r *rng.Source) (float64, error) {
+		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		res, err := fac(ch).Run(ch, n, t, r.Split(2))
+		if err != nil {
+			return 0, err
+		}
+		if res.Decision != (x >= t) {
+			return 0, fmt.Errorf("wrong decision for n=%d t=%d x=%d", n, t, x)
+		}
+		return float64(res.Queries), nil
+	}
+}
+
+// Experiment is one reproducible figure or table.
+type Experiment struct {
+	// ID is the figure identifier from DESIGN.md (e.g. "fig1").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Run produces the figure's data.
+	Run func(o Options) (*stats.Table, error)
+}
+
+// registry holds every experiment keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiment: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists all registered experiments in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	var out []Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}

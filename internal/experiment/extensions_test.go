@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestExtEnergyShapes(t *testing.T) {
+	tab := runFig(t, "ext-energy", 150)
+	// Sequential transmits at most the positives it schedules —
+	// for x <= t that is about x, the cheapest possible.
+	if y := yAt(t, tab, "Sequential", 4); y > 4.5 {
+		t.Errorf("sequential sent %v replies at x=4, want <= ~4", y)
+	}
+	// tcast re-polls positives across rounds, so its reply count
+	// exceeds sequential's for mid-range x ...
+	if yAt(t, tab, "2tBins", 16) <= yAt(t, tab, "Sequential", 16) {
+		t.Error("2tBins reply count at x=t not above sequential")
+	}
+	// ... but stays bounded for x >> t, where a single round of t
+	// non-empty bins suffices (each positive replies at most once per
+	// round).
+	if y := yAt(t, tab, "2tBins", 128); y > 128+1 {
+		t.Errorf("2tBins sent %v replies at x=n, want <= n", y)
+	}
+	// CSMA retransmissions grow with x.
+	if yAt(t, tab, "CSMA", 8) >= yAt(t, tab, "CSMA", 96) {
+		t.Error("CSMA replies not increasing in x")
+	}
+}
+
+func TestExtTimeShapes(t *testing.T) {
+	tab := runFig(t, "ext-time", 150)
+	// x << t: tcast beats sequential on the clock; CSMA is allowed to
+	// win here (the paper says it does).
+	if yAt(t, tab, "2tBins", 2) >= yAt(t, tab, "Sequential", 2) {
+		t.Error("x<<t: tcast not faster than sequential")
+	}
+	// x >> t: tcast beats CSMA on the clock.
+	if yAt(t, tab, "2tBins", 96) >= yAt(t, tab, "CSMA", 96) {
+		t.Error("x>>t: tcast not faster than CSMA")
+	}
+	// Everything positive.
+	for _, s := range tab.Series {
+		for _, p := range s.Points {
+			if p.Y < 0 {
+				t.Fatalf("negative latency in %s", s.Name)
+			}
+		}
+	}
+}
+
+func TestExtBatteryShapes(t *testing.T) {
+	tab := runFig(t, "ext-battery", 100)
+	// Sequential participants sleep until their slot: the energy floor
+	// at every x.
+	for _, x := range []float64{16, 32, 96} {
+		seq := yAt(t, tab, "Sequential", x)
+		tc := yAt(t, tab, "tcast (2tBins/backcast)", x)
+		if !(seq < tc) {
+			t.Errorf("x=%v: sequential (%v) not below tcast (%v)", x, seq, tc)
+		}
+	}
+	// CSMA contenders carrier-sense throughout, so its mean grows with
+	// x and overtakes tcast once contention is heavy. Near x ≈ t tcast's
+	// long session legitimately costs more.
+	if yAt(t, tab, "CSMA", 8) >= yAt(t, tab, "CSMA", 96) {
+		t.Error("CSMA energy not growing with x")
+	}
+	for _, x := range []float64{48, 96} {
+		tc := yAt(t, tab, "tcast (2tBins/backcast)", x)
+		csma := yAt(t, tab, "CSMA", x)
+		if !(tc < csma) {
+			t.Errorf("x=%v: tcast (%v) not below CSMA (%v)", x, tc, csma)
+		}
+	}
+	// All energies positive.
+	for _, s := range tab.Series {
+		for _, p := range s.Points {
+			if p.Y < 0 {
+				t.Fatalf("negative energy in %s", s.Name)
+			}
+		}
+	}
+}
+
+func TestExtMultihopShapes(t *testing.T) {
+	tab := runFig(t, "ext-multihop", 6)
+	pc := tab.Get("pollcast false-positive rate")
+	bc := tab.Get("backcast false-positive rate")
+	fn := tab.Get("backcast false-negative rate (jam)")
+	if pc == nil || bc == nil || fn == nil {
+		t.Fatal("series missing")
+	}
+	// No interference, no errors.
+	if y, _ := pc.YAt(0); y != 0 {
+		t.Errorf("pollcast FP at coupling 0 = %v", y)
+	}
+	if y, _ := fn.YAt(0); y != 0 {
+		t.Errorf("backcast FN at coupling 0 = %v", y)
+	}
+	// Pollcast FP rate grows with coupling; backcast stays at zero.
+	lo, _ := pc.YAt(0.1)
+	hi, _ := pc.YAt(0.8)
+	if hi <= lo {
+		t.Errorf("pollcast FP rate not increasing: %v -> %v", lo, hi)
+	}
+	for _, p := range bc.Points {
+		if p.Y != 0 {
+			t.Fatalf("backcast false positive at coupling %v", p.X)
+		}
+	}
+	// Jam-induced FN appears at high coupling.
+	if y, _ := fn.YAt(0.8); y == 0 {
+		t.Error("no backcast false negatives under heavy jamming")
+	}
+	// Interference makes pollcast cheaper AND wrong: false-active bins
+	// short-circuit the session into a premature (false-positive)
+	// "threshold reached". Backcast's cost stays flat because it never
+	// sees phantom activity.
+	pcCost := tab.Get("pollcast queries/region")
+	bcCost := tab.Get("backcast queries/region")
+	if pcCost == nil || bcCost == nil {
+		t.Fatal("cost series missing")
+	}
+	pcLo, _ := pcCost.YAt(0)
+	pcHi, _ := pcCost.YAt(0.6)
+	if pcHi >= pcLo {
+		t.Errorf("pollcast did not short-circuit under interference: %v -> %v", pcLo, pcHi)
+	}
+	bcLo, _ := bcCost.YAt(0)
+	bcHi, _ := bcCost.YAt(0.8)
+	if bcHi > bcLo*1.1+0.5 || bcHi < bcLo*0.9-0.5 {
+		t.Errorf("backcast cost not flat under interference: %v -> %v", bcLo, bcHi)
+	}
+}
+
+func TestExtKPlusShapes(t *testing.T) {
+	tab := runFig(t, "ext-kplus", 120)
+	if len(tab.Series) != 4 {
+		t.Fatalf("series count = %d", len(tab.Series))
+	}
+	// At the hard point x = t, stronger radios are strictly cheaper.
+	k1 := yAt(t, tab, "k=1", 16)
+	k8 := yAt(t, tab, "k=8", 16)
+	if !(k8 < k1) {
+		t.Fatalf("k=8 (%v) not cheaper than k=1 (%v) at x=t", k8, k1)
+	}
+	// And never meaningfully worse anywhere.
+	s1, s8 := tab.Get("k=1"), tab.Get("k=8")
+	for i := range s1.Points {
+		if s8.Points[i].Y > s1.Points[i].Y*1.2+1 {
+			t.Fatalf("k=8 worse than k=1 at x=%v: %v vs %v",
+				s1.Points[i].X, s8.Points[i].Y, s1.Points[i].Y)
+		}
+	}
+}
+
+func TestExtCountShapes(t *testing.T) {
+	tab := runFig(t, "ext-count", 120)
+	// Identification costs grow with x; threshold querying does not
+	// (past the peak), so identification is strictly more expensive for
+	// large x.
+	if yAt(t, tab, "Identify (exact set)", 8) >= yAt(t, tab, "Identify (exact set)", 64) {
+		t.Error("identification cost not increasing in x")
+	}
+	if yAt(t, tab, "Identify (exact set)", 64) <= yAt(t, tab, "Threshold (2tBins, t=16)", 64) {
+		t.Error("identification not more expensive than threshold at x=64")
+	}
+	// Estimation cost is bounded by Repeats × levels regardless of x.
+	est := tab.Get("Estimate (±2x)")
+	for _, p := range est.Points {
+		if p.Y > 16*9 {
+			t.Fatalf("estimation cost %v at x=%v exceeds budget", p.Y, p.X)
+		}
+	}
+}

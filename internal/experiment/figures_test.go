@@ -1,0 +1,343 @@
+package experiment
+
+import (
+	"testing"
+
+	"tcast/internal/stats"
+)
+
+// quick returns options sized for test speed: enough trials for the shape
+// assertions, far fewer than the paper's 1000.
+func quickOpts(runs int) Options { return Options{Runs: runs, Seed: 42} }
+
+func runFig(t *testing.T, id string, runs int) *stats.Table {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(quickOpts(runs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	return tab
+}
+
+func yAt(t *testing.T, tab *stats.Table, series string, x float64) float64 {
+	t.Helper()
+	s := tab.Get(series)
+	if s == nil {
+		t.Fatalf("series %q missing", series)
+	}
+	y, err := s.YAt(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
+}
+
+func TestFig1Shapes(t *testing.T) {
+	tab := runFig(t, "fig1", 200)
+	// tcast peaks near x = t and is cheap at the extremes.
+	peak := yAt(t, tab, "2tBins", 16)
+	if low := yAt(t, tab, "2tBins", 1); low >= peak {
+		t.Errorf("2tBins not peaked: x=1 %v vs x=16 %v", low, peak)
+	}
+	if high := yAt(t, tab, "2tBins", 128); high >= peak {
+		t.Errorf("2tBins not peaked: x=128 %v vs x=16 %v", high, peak)
+	}
+	// CSMA grows with x.
+	if yAt(t, tab, "CSMA", 8) >= yAt(t, tab, "CSMA", 64) {
+		t.Error("CSMA cost not increasing in x")
+	}
+	// Sequential starts near n - t for x << t.
+	if seq0 := yAt(t, tab, "Sequential", 0); seq0 < 100 {
+		t.Errorf("Sequential at x=0 = %v, want ≈113", seq0)
+	}
+	// ExpIncrease beats 2tBins for x << t and loses for x >> t.
+	if yAt(t, tab, "ExpIncrease", 1) >= yAt(t, tab, "2tBins", 1) {
+		t.Error("ExpIncrease not cheaper at x=1")
+	}
+	if yAt(t, tab, "ExpIncrease", 96) <= yAt(t, tab, "2tBins", 96) {
+		t.Error("ExpIncrease not costlier at x=96")
+	}
+}
+
+// TestHeadlineShapesAcrossSeeds re-checks the central Fig 1 claims at
+// several seeds: the shapes must be properties of the algorithms, not of
+// one lucky random stream.
+func TestHeadlineShapesAcrossSeeds(t *testing.T) {
+	e, err := Get("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 77, 20110525} {
+		tab, err := e.Run(Options{Runs: 120, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak := yAt(t, tab, "2tBins", 16)
+		if low := yAt(t, tab, "2tBins", 1); low >= peak {
+			t.Errorf("seed %d: 2tBins not peaked (x=1: %v vs x=16: %v)", seed, low, peak)
+		}
+		if yAt(t, tab, "ExpIncrease", 1) >= yAt(t, tab, "2tBins", 1) {
+			t.Errorf("seed %d: ExpIncrease not cheaper at x=1", seed)
+		}
+		if yAt(t, tab, "CSMA", 8) >= yAt(t, tab, "CSMA", 64) {
+			t.Errorf("seed %d: CSMA not increasing", seed)
+		}
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	tab := runFig(t, "fig2", 200)
+	// 2+ never worse on average; clear gain at x = t-1.
+	for _, x := range []float64{4, 15, 16, 32} {
+		one := yAt(t, tab, "2tBins 1+", x)
+		two := yAt(t, tab, "2tBins 2+", x)
+		if two > one*1.1+0.5 {
+			t.Errorf("x=%v: 2+ (%v) above 1+ (%v)", x, two, one)
+		}
+	}
+	if two, one := yAt(t, tab, "2tBins 2+", 15), yAt(t, tab, "2tBins 1+", 15); two >= one {
+		t.Errorf("no 2+ gain at x=t-1: %v vs %v", two, one)
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	tab := runFig(t, "fig3", 150)
+	// 1+/2+ ordering preserved across thresholds (2tBins curves).
+	for _, th := range []float64{2, 4, 8, 16} {
+		one := yAt(t, tab, "2tBins 1+", th)
+		two := yAt(t, tab, "2tBins 2+", th)
+		if two > one*1.1+0.5 {
+			t.Errorf("t=%v: 2+ (%v) above 1+ (%v)", th, two, one)
+		}
+	}
+	// ExpIncrease peaks near t = x = 4 and declines toward both edges.
+	peak := yAt(t, tab, "ExpIncrease 1+", 4)
+	if edge := yAt(t, tab, "ExpIncrease 1+", 1); edge >= peak {
+		t.Errorf("ExpIncrease t=1 (%v) not below t=4 (%v)", edge, peak)
+	}
+	if edge := yAt(t, tab, "ExpIncrease 1+", 127); edge >= peak {
+		t.Errorf("ExpIncrease t=127 (%v) not below t=4 (%v)", edge, peak)
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	tab := runFig(t, "fig4", 15)
+	for _, name := range []string{"t=2", "t=4", "t=6"} {
+		s := tab.Get(name)
+		if s == nil || len(s.Points) != 13 {
+			t.Fatalf("series %s missing or wrong length", name)
+		}
+	}
+	// Cost peaks near x = t, not at the extremes.
+	for _, th := range []float64{2, 4, 6} {
+		name := "t=" + formatNum(th)
+		if yAt(t, tab, name, th) <= yAt(t, tab, name, 12) {
+			t.Errorf("%s: cost at x=t not above x=12", name)
+		}
+	}
+}
+
+func TestTabErrShapes(t *testing.T) {
+	tab := runFig(t, "tab-err", 25)
+	misses := tab.Get("missed (heard silent)")
+	queries := tab.Get("k-positive group queries")
+	if misses == nil || queries == nil {
+		t.Fatal("series missing")
+	}
+	// Misses concentrated at k=1.
+	m1, err := misses.YAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rest float64
+	for _, p := range misses.Points {
+		if p.X > 1 {
+			rest += p.Y
+		}
+	}
+	if m1 == 0 {
+		t.Fatal("no single-HACK misses observed")
+	}
+	if m1 <= rest {
+		t.Errorf("misses not dominated by k=1: m1=%v rest=%v", m1, rest)
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	tab := runFig(t, "fig5", 200)
+	// Oracle tracks the lower envelope. It is a heuristic (the paper's
+	// piecewise interpolation), so allow small inversions where 2tBins
+	// and ABNS already sit at the optimum (x > t/2).
+	for _, x := range []float64{1, 8, 16, 64} {
+		oracle := yAt(t, tab, "Oracle", x)
+		for _, name := range []string{"2tBins", "ABNS(p0=t)", "ABNS(p0=2t)"} {
+			if y := yAt(t, tab, name, x); y < 0.8*oracle-2 {
+				t.Errorf("%s at x=%v (%v) far below oracle (%v)", name, x, y, oracle)
+			}
+		}
+	}
+	// The gap between 2tBins and Oracle opens for small x ...
+	if gap := yAt(t, tab, "2tBins", 1) - yAt(t, tab, "Oracle", 1); gap < 5 {
+		t.Errorf("no oracle gap at x=1: %v", gap)
+	}
+	// ... and ABNS(p0=t) narrows it.
+	if yAt(t, tab, "ABNS(p0=t)", 1) >= yAt(t, tab, "2tBins", 1) {
+		t.Error("ABNS(p0=t) not cheaper than 2tBins at x=1")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	tab := runFig(t, "fig6", 200)
+	// ProbABNS eliminates ABNS(p0=2t)'s small-x cost ...
+	if yAt(t, tab, "ProbABNS", 2) >= yAt(t, tab, "ABNS(p0=2t)", 2) {
+		t.Error("ProbABNS not cheaper than ABNS(p0=2t) at x=2")
+	}
+	// ... and stays near the oracle across regimes.
+	for _, x := range []float64{2, 16, 64} {
+		if yAt(t, tab, "ProbABNS", x) > 2.5*yAt(t, tab, "Oracle", x)+4 {
+			t.Errorf("ProbABNS far from oracle at x=%v", x)
+		}
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	tab := runFig(t, "fig7", 250)
+	// ProbABNS ≈ CSMA for x < t; clearly better for x > t.
+	if p, c := yAt(t, tab, "ProbABNS", 32), yAt(t, tab, "CSMA", 32); p >= c {
+		t.Errorf("x=32: ProbABNS %v not below CSMA %v", p, c)
+	}
+	if p, c := yAt(t, tab, "ProbABNS", 2), yAt(t, tab, "CSMA", 2); p > 4*c+8 {
+		t.Errorf("x=2: ProbABNS %v too far above CSMA %v", p, c)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	tab := runFig(t, "fig8", 1)
+	delta := tab.Get("delta")
+	if delta == nil {
+		t.Fatal("delta series missing")
+	}
+	// Δ increases as the modes separate.
+	for i := 1; i < len(delta.Points); i++ {
+		if delta.Points[i].Y < delta.Points[i-1].Y-1e-9 {
+			t.Fatalf("delta not monotone: %+v", delta.Points)
+		}
+	}
+	// m1 below m2 everywhere.
+	m1 := tab.Get("m1 (quiet)")
+	m2 := tab.Get("m2 (activity)")
+	for i := range m1.Points {
+		if m1.Points[i].Y >= m2.Points[i].Y {
+			t.Fatal("m1 not below m2")
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	tab := runFig(t, "fig9", 250)
+	// Accuracy grows with repeats at every separation.
+	if yAt(t, tab, "r=9", 48) <= yAt(t, tab, "r=1", 48)-0.02 {
+		t.Error("r=9 not above r=1 at d=48")
+	}
+	// Nine repeats exceed 90% accuracy once d > 32.
+	if acc := yAt(t, tab, "r=9", 40); acc < 0.9 {
+		t.Errorf("r=9 accuracy at d=40 = %v, want > 0.9", acc)
+	}
+	// Overlapping modes are hard.
+	if acc := yAt(t, tab, "r=3", 8); acc > 0.95 {
+		t.Errorf("r=3 accuracy at d=8 = %v suspiciously high", acc)
+	}
+	// The eq (10) sizing achieves ≥ 90% when separated.
+	if acc := yAt(t, tab, "r=f(d=5%)", 48); acc < 0.9 {
+		t.Errorf("sized detector accuracy at d=48 = %v", acc)
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	tab := runFig(t, "fig10", 1)
+	paper := tab.Get("eq (10)")
+	if paper == nil {
+		t.Fatal("eq (10) series missing")
+	}
+	// Required repeats fall as the modes separate.
+	first := paper.Points[0].Y
+	last := paper.Points[len(paper.Points)-1].Y
+	if last >= first {
+		t.Fatalf("repeats not decreasing: %v -> %v", first, last)
+	}
+	for i := 1; i < len(paper.Points); i++ {
+		if paper.Points[i].Y > paper.Points[i-1].Y+1e-9 {
+			t.Fatalf("repeats not monotone: %+v", paper.Points)
+		}
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	tab := runFig(t, "fig11", 100)
+	for _, name := range []string{"d=8", "d=16"} {
+		s := tab.Get(name)
+		if s == nil {
+			t.Fatalf("series %s missing", name)
+		}
+		total := 0.0
+		for _, p := range s.Points {
+			total += p.Y
+		}
+		if total < 0.98 || total > 1.02 {
+			t.Errorf("%s density sums to %v", name, total)
+		}
+	}
+	// d=16 must be visibly bimodal: peaks near 48 and 80, valley at 64.
+	d16 := tab.Get("d=16")
+	peak1, _ := d16.YAt(48)
+	peak2, _ := d16.YAt(80)
+	valley, _ := d16.YAt(64)
+	if peak1 <= valley || peak2 <= valley {
+		t.Errorf("d=16 not bimodal: peaks %v/%v valley %v", peak1, peak2, valley)
+	}
+}
+
+func TestAblationCapture(t *testing.T) {
+	tab := runFig(t, "abl-capture", 120)
+	if len(tab.Series) != 4 {
+		t.Fatalf("series count = %d", len(tab.Series))
+	}
+	// Stronger capture (higher beta) decodes more often, so it can only
+	// help near x = t-1.
+	weak := yAt(t, tab, "beta=0.25", 15)
+	strong := yAt(t, tab, "beta=0.75", 15)
+	if strong > weak*1.15+1 {
+		t.Errorf("stronger capture more expensive: %v vs %v", strong, weak)
+	}
+}
+
+func TestAblationVariants(t *testing.T) {
+	tab := runFig(t, "abl-variants", 120)
+	if len(tab.Series) != 3 {
+		t.Fatalf("series count = %d", len(tab.Series))
+	}
+	// Section IV-B: no variant wins consistently — verify each one wins
+	// or ties somewhere and loses somewhere (within noise), i.e. no
+	// strict dominance over the plain doubling scheme.
+	base := tab.Get("ExpIncrease")
+	for _, name := range []string{"ExpIncrease(pause-and-continue)", "ExpIncrease(fourfold)"} {
+		v := tab.Get(name)
+		dominates := true
+		for i := range base.Points {
+			if v.Points[i].Y > base.Points[i].Y-0.5 {
+				dominates = false
+				break
+			}
+		}
+		if dominates {
+			t.Errorf("%s strictly dominates the published variant — inconsistent with the paper", name)
+		}
+	}
+}

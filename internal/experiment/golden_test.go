@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// The analytic experiments (no simulation randomness) must render
+// byte-identically forever: they anchor the refactoring safety net.
+
+func TestFig10Golden(t *testing.T) {
+	e, err := Get("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(Options{Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Render(tab)
+	const golden = `required repeats r by eq (10) and by Hoeffding, delta = 5%
+mode separation d  eq (10)  Hoeffding
+-----------------  -------  ---------
+                4      308      13952
+                8      154       3485
+               12      103       1547
+               16       77        868
+               20       62        554
+               24       51        384
+               28       44        281
+               32       39        214
+               36       34        168
+               40       31        135
+               44       28        111
+               48       26         93
+               52       24         78
+               56       22         67
+               60       20         58
+`
+	if got != golden {
+		t.Fatalf("fig10 output changed:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+func TestFig8GoldenShape(t *testing.T) {
+	e, err := Get("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(Options{Runs: 1, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 8 is analytic too: same output for any seed.
+	tab2, err := e.Run(Options{Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Render(tab) != Render(tab2) {
+		t.Fatal("analytic fig8 depends on the seed")
+	}
+	if !strings.Contains(Render(tab), "delta") {
+		t.Fatal("delta column missing")
+	}
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tab := makeTable()
+	out, err := JSON(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != tab.Title || back.XLabel != tab.XLabel || back.YLabel != tab.YLabel {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if len(back.Series) != len(tab.Series) {
+		t.Fatalf("series count %d, want %d", len(back.Series), len(tab.Series))
+	}
+	for i, s := range tab.Series {
+		bs := back.Series[i]
+		if bs.Name != s.Name || len(bs.Points) != len(s.Points) {
+			t.Fatalf("series %d mismatched", i)
+		}
+		for j, p := range s.Points {
+			if bs.Points[j] != p {
+				t.Fatalf("point %d/%d = %+v, want %+v", i, j, bs.Points[j], p)
+			}
+		}
+	}
+}
+
+func TestJSONSchemaFields(t *testing.T) {
+	out, err := JSON(makeTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"title"`, `"xLabel"`, `"yLabel"`, `"series"`, `"points"`, `"name"`, `"x"`, `"y"`} {
+		if !strings.Contains(out, key) {
+			t.Errorf("schema key %s missing:\n%s", key, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("no trailing newline")
+	}
+}
+
+func TestParseJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseJSON([]byte("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tcast/internal/stats"
+)
+
+// Plot renders a table as an ASCII chart: one glyph per series, points
+// mapped onto a width×height character grid with linear axes. It is how
+// `tcastfigs -plot` lets a terminal user eyeball the figure shapes the
+// paper plots.
+func Plot(t *stats.Table, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // anchor Y at zero: all our metrics are counts/rates
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+			minY = math.Min(minY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return t.Title + "\n(empty table)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range t.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((p.Y-minY)/(maxY-minY)*float64(height-1)))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			if grid[row][col] != ' ' && grid[row][col] != g {
+				grid[row][col] = '?'
+			} else {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	yLab := fmt.Sprintf("%s (%.4g..%.4g)", t.YLabel, minY, maxY)
+	fmt.Fprintf(&b, "%s\n", yLab)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s (%.4g..%.4g)\n", t.XLabel, minX, maxX)
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

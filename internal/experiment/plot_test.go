@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"tcast/internal/stats"
+)
+
+func TestPlotBasics(t *testing.T) {
+	tab := makeTable()
+	out := Plot(tab, 40, 10)
+	for _, want := range []string{"demo", "alpha", "beta", "x (", "y ("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Plot output missing %q:\n%s", want, out)
+		}
+	}
+	// Legend glyphs present in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("series glyphs missing:\n%s", out)
+	}
+	// Axis frame.
+	if !strings.Contains(out, "+----") {
+		t.Errorf("x axis missing:\n%s", out)
+	}
+}
+
+func TestPlotEmptyTable(t *testing.T) {
+	tab := &stats.Table{Title: "void"}
+	out := Plot(tab, 40, 10)
+	if !strings.Contains(out, "(empty table)") {
+		t.Fatalf("empty table not flagged: %s", out)
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	tab := &stats.Table{Title: "dot", XLabel: "x", YLabel: "y"}
+	s := &stats.Series{Name: "solo"}
+	s.Append(stats.Point{X: 5, Y: 5})
+	tab.Add(s)
+	out := Plot(tab, 30, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestPlotMinimumDimensions(t *testing.T) {
+	// Degenerate dimensions are clamped, not crashed on.
+	out := Plot(makeTable(), 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestPlotMonotoneSeriesOrientation(t *testing.T) {
+	// An increasing series must plot its maximum above its minimum
+	// (higher Y → earlier row).
+	tab := &stats.Table{Title: "ramp", XLabel: "x", YLabel: "y"}
+	s := &stats.Series{Name: "up"}
+	for i := 0; i <= 10; i++ {
+		s.Append(stats.Point{X: float64(i), Y: float64(i)})
+	}
+	tab.Add(s)
+	out := Plot(tab, 22, 12)
+	lines := strings.Split(out, "\n")
+	var firstRow, lastRow int = -1, -1
+	for i, line := range lines {
+		if strings.HasPrefix(line, "|") && strings.Contains(line, "*") {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow == lastRow {
+		t.Fatalf("ramp did not span rows:\n%s", out)
+	}
+	// The top-most starred row must correspond to the right-most column.
+	top := lines[firstRow]
+	bottom := lines[lastRow]
+	if strings.LastIndex(top, "*") <= strings.LastIndex(bottom, "*") {
+		t.Fatalf("orientation wrong:\n%s", out)
+	}
+}
+
+func TestPlotCollisionMarker(t *testing.T) {
+	tab := &stats.Table{Title: "overlap", XLabel: "x", YLabel: "y"}
+	a := &stats.Series{Name: "a"}
+	a.Append(stats.Point{X: 0, Y: 0})
+	a.Append(stats.Point{X: 10, Y: 10})
+	b := &stats.Series{Name: "b"}
+	b.Append(stats.Point{X: 0, Y: 0}) // same spot as a's first point
+	tab.Add(a)
+	tab.Add(b)
+	out := Plot(tab, 30, 10)
+	if !strings.Contains(out, "?") {
+		t.Fatalf("overlapping points not marked:\n%s", out)
+	}
+}

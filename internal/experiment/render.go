@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tcast/internal/stats"
+)
+
+// Render formats a table as aligned text: one row per X value, one column
+// per series. Points missing from a series render as "-".
+func Render(t *stats.Table) string {
+	xs := collectXs(t)
+	headers := append([]string{t.XLabel}, seriesNames(t)...)
+	rows := make([][]string, 0, len(xs)+1)
+	rows = append(rows, headers)
+	for _, x := range xs {
+		row := []string{formatNum(x)}
+		for _, s := range t.Series {
+			if y, err := s.YAt(x); err == nil {
+				row = append(row, formatNum(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return renderRows(t.Title, rows)
+}
+
+// renderRows lays out a header row plus data rows as aligned columns
+// under a title, with a rule after the header.
+func renderRows(title string, rows [][]string) string {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// RenderCI is like Render but appends a ±err column (the 95% confidence
+// half-width) after each series column.
+func RenderCI(t *stats.Table) string {
+	xs := collectXs(t)
+	headers := []string{t.XLabel}
+	for _, name := range seriesNames(t) {
+		headers = append(headers, name, "±95%")
+	}
+	rows := [][]string{headers}
+	for _, x := range xs {
+		row := []string{formatNum(x)}
+		for _, s := range t.Series {
+			y, errY := "-", "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					y = formatNum(p.Y)
+					errY = formatNum(p.Err)
+					break
+				}
+			}
+			row = append(row, y, errY)
+		}
+		rows = append(rows, row)
+	}
+	return renderRows(t.Title, rows)
+}
+
+// CSV formats a table as comma-separated values with a header row.
+func CSV(t *stats.Table) string {
+	xs := collectXs(t)
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, name := range seriesNames(t) {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(name))
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		b.WriteString(formatNum(x))
+		for _, s := range t.Series {
+			b.WriteByte(',')
+			if y, err := s.YAt(x); err == nil {
+				b.WriteString(formatNum(y))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func collectXs(t *stats.Table) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func seriesNames(t *stats.Table) []string {
+	names := make([]string, len(t.Series))
+	for i, s := range t.Series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func formatNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+// Package fastsim is the paper's simulation substrate: an abstract
+// single-hop RCD channel that answers group queries directly from the
+// ground-truth positive set.
+//
+// It models exactly the information an RCD initiator can extract — silence,
+// activity, or (in the 2+ model) a captured frame — plus the radio
+// imperfections the paper discusses: the CC2420 capture effect,
+// per-reply losses ("radio irregularities", the source of the testbed's
+// false negatives), and interference-triggered false activity (which
+// pollcast suffers and backcast does not).
+package fastsim
+
+import (
+	"tcast/internal/bitset"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+)
+
+// CaptureModel gives the probability that the initiator's radio locks onto
+// and decodes one frame when k >= 1 frames are transmitted simultaneously.
+type CaptureModel func(k int) float64
+
+// GeometricCapture returns the default capture model
+// P(capture | k) = beta^(k-1): a single frame always decodes, and each
+// additional simultaneous frame multiplies the success probability by
+// beta. The paper describes capture qualitatively ("decreasing probability
+// as the number of messages increase"); beta makes the strength explicit.
+func GeometricCapture(beta float64) CaptureModel {
+	return func(k int) float64 {
+		if k <= 1 {
+			return 1
+		}
+		p := 1.0
+		for i := 1; i < k; i++ {
+			p *= beta
+		}
+		return p
+	}
+}
+
+// InverseCapture returns the alternative model P(capture | k) = 1/k.
+func InverseCapture() CaptureModel {
+	return func(k int) float64 {
+		if k <= 1 {
+			return 1
+		}
+		return 1 / float64(k)
+	}
+}
+
+// NoCapture returns a model where simultaneous frames always collide
+// destructively: only a lone reply can be decoded. Combined with
+// Traits.CaptureEffect == false this gives the idealized 2+ radio in which
+// a decode proves a singleton bin.
+func NoCapture() CaptureModel {
+	return func(k int) float64 {
+		if k <= 1 {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Config selects the radio behaviour of the abstract channel.
+type Config struct {
+	// Model is the collision model (1+ or 2+).
+	Model query.CollisionModel
+	// Capture is the capture-effect model for the 2+ radio. Nil means
+	// GeometricCapture(0.5). Ignored under 1+.
+	Capture CaptureModel
+	// CaptureEffectPresent declares whether decodes may hide extra
+	// repliers. Set false only together with NoCapture to model the
+	// idealized radio.
+	CaptureEffectPresent bool
+	// MissProb is the probability that any individual reply goes
+	// unheard (radio irregularity). A bin responds Empty when every
+	// reply is missed — a false negative.
+	MissProb float64
+	// FalseActiveProb is the probability that interference makes an
+	// all-negative bin look Active. Pollcast's CCA sensing is exposed
+	// to this; backcast's HACK matching is not (Section III-B).
+	FalseActiveProb float64
+}
+
+// DefaultConfig returns the ideal 1+ channel used for the paper's main
+// simulations.
+func DefaultConfig() Config {
+	return Config{Model: query.OnePlus}
+}
+
+// TwoPlusConfig returns the default 2+ channel: capture effect present with
+// the geometric model at beta = 0.5.
+func TwoPlusConfig() Config {
+	return Config{
+		Model:                query.TwoPlus,
+		Capture:              GeometricCapture(0.5),
+		CaptureEffectPresent: true,
+	}
+}
+
+// Channel is one query session against a fixed ground truth. It implements
+// query.Querier. Not safe for concurrent use.
+type Channel struct {
+	positives *bitset.Set
+	cfg       Config
+	r         *rng.Source
+	stats     TxStats
+	// heard is reused across queries to keep the per-poll hot path
+	// allocation-free.
+	heard []int
+}
+
+// TxStats counts the radio work a session caused — the energy side of the
+// paper's motivation. Replies counts individual reply transmissions by
+// positive nodes (each reply costs its sender one frame, collided or not);
+// Polls counts initiator poll broadcasts.
+type TxStats struct {
+	Polls   int
+	Replies int
+}
+
+// New creates a channel over participants {0..n-1} where exactly the
+// listed nodes are positive. It panics on out-of-range IDs.
+func New(n int, positives []int, cfg Config, r *rng.Source) *Channel {
+	set := bitset.New(n)
+	for _, id := range positives {
+		set.Add(id)
+	}
+	return NewFromSet(set, cfg, r)
+}
+
+// NewFromSet is like New but takes ownership of an existing positive set.
+func NewFromSet(positives *bitset.Set, cfg Config, r *rng.Source) *Channel {
+	if cfg.Capture == nil {
+		cfg.Capture = GeometricCapture(0.5)
+	}
+	return &Channel{positives: positives, cfg: cfg, r: r}
+}
+
+// RandomPositives draws x distinct positive nodes out of n uniformly at
+// random and returns the channel plus the chosen set.
+func RandomPositives(n, x int, cfg Config, r *rng.Source) (*Channel, *bitset.Set) {
+	set := bitset.New(n)
+	for _, id := range r.Sample(n, x) {
+		set.Add(id)
+	}
+	return NewFromSet(set, cfg, r), set
+}
+
+// Traits implements query.Querier.
+func (c *Channel) Traits() query.Traits {
+	return query.Traits{Model: c.cfg.Model, CaptureEffect: c.cfg.CaptureEffectPresent}
+}
+
+// Positives reports the ground-truth number of positive nodes.
+func (c *Channel) Positives() int { return c.positives.Len() }
+
+// IsPositive reports the ground truth for one node.
+func (c *Channel) IsPositive(id int) bool { return c.positives.Contains(id) }
+
+// Stats returns the transmission counts accumulated so far.
+func (c *Channel) Stats() TxStats { return c.stats }
+
+// Query implements query.Querier: it polls the bin and reports what the
+// initiator's radio observes.
+func (c *Channel) Query(bin []int) query.Response {
+	c.stats.Polls++
+	// heard collects the positive repliers whose frames reach the
+	// initiator.
+	heard := c.heard[:0]
+	for _, id := range bin {
+		if !c.positives.Contains(id) {
+			continue
+		}
+		c.stats.Replies++
+		if !c.r.Bernoulli(c.cfg.MissProb) {
+			heard = append(heard, id)
+		}
+	}
+	c.heard = heard
+	if len(heard) == 0 {
+		if c.cfg.FalseActiveProb > 0 && c.r.Bernoulli(c.cfg.FalseActiveProb) {
+			// Interference: energy sensing reports activity. Even a
+			// 2+ radio cannot decode interference, so it looks like
+			// an undecodable burst; report Active under 1+ and
+			// Collision under 2+ would over-claim (>=2), so the
+			// conservative interference artifact is Active/Collision
+			// per model. Backcast deployments set this to 0.
+			if c.cfg.Model == query.OnePlus {
+				return query.Response{Kind: query.Active}
+			}
+			return query.Response{Kind: query.Collision}
+		}
+		return query.Response{Kind: query.Empty}
+	}
+	if c.cfg.Model == query.OnePlus {
+		return query.Response{Kind: query.Active}
+	}
+	// 2+ radio: try to capture one frame.
+	if c.r.Bernoulli(c.cfg.Capture(len(heard))) {
+		return query.Response{
+			Kind:      query.Decoded,
+			DecodedID: heard[c.r.Intn(len(heard))],
+		}
+	}
+	return query.Response{Kind: query.Collision}
+}

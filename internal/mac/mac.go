@@ -1,0 +1,222 @@
+// Package mac implements the packet-level versions of the traditional
+// feedback-collection baselines on the radio medium: slotted CSMA/CA with
+// binary exponential backoff, and a TDMA schedule. They mirror the
+// abstract models in internal/baseline but exchange real frames, so radio
+// imperfections (reply loss, interference) manifest as retries and wrong
+// decisions — the effects Section I attributes to CSMA.
+package mac
+
+import (
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+	"tcast/internal/sim"
+)
+
+// Result reports one packet-level collection session.
+type Result struct {
+	// Decision is the initiator's answer to "x >= t?".
+	Decision bool
+	// Slots is the number of radio slots consumed.
+	Slots int
+	// Delivered counts distinct reply frames received.
+	Delivered int
+	// Collisions counts slots lost to colliding replies.
+	Collisions int
+}
+
+// CSMA is the packet-level contention collector. Positive nodes contend
+// with slotted carrier sensing and binary exponential backoff until their
+// reply is acknowledged; the initiator stops once the threshold question
+// is answered.
+type CSMA struct {
+	// CWMin and CWMax bound the contention window (defaults 4 and 128).
+	CWMin, CWMax int
+	// GuardSlots > 0 terminates the "false" side after that many
+	// consecutive idle slots; zero selects idealized termination (the
+	// initiator knows x replies are outstanding), matching
+	// baseline.CSMA.
+	GuardSlots int
+	// InitiatorID is the receiving node's ID on the medium.
+	InitiatorID int
+}
+
+func (c CSMA) bounds() (int, int) {
+	cwMin, cwMax := c.CWMin, c.CWMax
+	if cwMin <= 0 {
+		cwMin = 4
+	}
+	if cwMax < cwMin {
+		cwMax = 128
+	}
+	return cwMin, cwMax
+}
+
+// Run collects replies from the positive nodes over med, driving slots
+// through the kernel (one event per slot), and returns the initiator's
+// decision for threshold t among n participants.
+func (c CSMA) Run(med *radio.Medium, kern *sim.Kernel, n, t int, positives []int, r *rng.Source) Result {
+	cwMin, cwMax := c.bounds()
+	if t <= 0 {
+		return Result{Decision: true}
+	}
+	if t > n {
+		return Result{Decision: false}
+	}
+
+	type station struct {
+		id      int
+		cw      int
+		counter int
+	}
+	backlog := make([]*station, 0, len(positives))
+	for _, id := range positives {
+		backlog = append(backlog, &station{id: id, cw: cwMin, counter: r.Intn(cwMin)})
+	}
+	delivered := make(map[int]bool, len(positives))
+
+	var res Result
+	idleRun := 0
+	const slotTicks = sim.Time(20) // one backoff slot in symbol periods
+
+	var tick func()
+	tick = func() {
+		if res.Delivered >= t {
+			res.Decision = true
+			return
+		}
+		if c.GuardSlots == 0 {
+			if res.Delivered == len(positives) {
+				res.Decision = false
+				return
+			}
+		} else if idleRun >= c.GuardSlots {
+			res.Decision = false
+			return
+		}
+
+		res.Slots++
+		med.BeginSlot()
+		var transmitting []*station
+		for _, s := range backlog {
+			if s.counter == 0 {
+				transmitting = append(transmitting, s)
+				med.Transmit(radio.Frame{Kind: radio.FrameVote, Src: s.id, Dst: c.InitiatorID, Bytes: 2})
+			}
+		}
+		obs := med.Observe(c.InitiatorID)
+		med.EndSlot()
+
+		switch {
+		case len(transmitting) == 0:
+			idleRun++
+			for _, s := range backlog {
+				s.counter--
+			}
+		default:
+			idleRun = 0
+			var acked *station
+			if obs.Frame != nil && obs.Frame.Kind == radio.FrameVote && !delivered[obs.Frame.Src] {
+				for _, s := range transmitting {
+					if s.id == obs.Frame.Src {
+						acked = s
+						break
+					}
+				}
+			}
+			if acked != nil {
+				delivered[acked.id] = true
+				res.Delivered++
+				kept := backlog[:0]
+				for _, s := range backlog {
+					if s != acked {
+						kept = append(kept, s)
+					}
+				}
+				backlog = kept
+			}
+			if len(transmitting) > 1 {
+				res.Collisions++
+			}
+			// Unacked transmitters back off.
+			for _, s := range transmitting {
+				if s == acked {
+					continue
+				}
+				s.cw *= 2
+				if s.cw > cwMax {
+					s.cw = cwMax
+				}
+				s.counter = r.Intn(s.cw)
+			}
+		}
+		kern.After(slotTicks, tick)
+	}
+	kern.After(0, tick)
+	kern.Run()
+	return res
+}
+
+// TDMA is the packet-level sequential baseline: the initiator broadcasts a
+// reply schedule (one slot), then each participant answers in its own slot
+// in a random order. Unlike baseline.Sequential, the schedule broadcast is
+// counted, so costs run one slot higher.
+type TDMA struct {
+	InitiatorID int
+}
+
+// Run executes the schedule until the threshold question resolves.
+func (s TDMA) Run(med *radio.Medium, kern *sim.Kernel, n, t int, positives []int, r *rng.Source) Result {
+	if t <= 0 {
+		return Result{Decision: true}
+	}
+	if t > n {
+		return Result{Decision: false}
+	}
+	isPositive := make(map[int]bool, len(positives))
+	for _, id := range positives {
+		isPositive[id] = true
+	}
+	order := r.Perm(n)
+
+	var res Result
+	// Slot 0: schedule broadcast.
+	med.BeginSlot()
+	med.Transmit(radio.Frame{Kind: radio.FrameSchedule, Src: s.InitiatorID, Dst: radio.Broadcast, Bytes: 2 * n / 8, Payload: order})
+	med.EndSlot()
+	res.Slots++
+
+	heard := 0
+	const slotTicks = sim.Time(20)
+	i := 0
+	var tick func()
+	tick = func() {
+		if i >= n {
+			return
+		}
+		id := order[i]
+		res.Slots++
+		med.BeginSlot()
+		if isPositive[id] {
+			med.Transmit(radio.Frame{Kind: radio.FrameVote, Src: id, Dst: s.InitiatorID, Bytes: 2})
+		}
+		obs := med.Observe(s.InitiatorID)
+		med.EndSlot()
+		if obs.Frame != nil && obs.Frame.Kind == radio.FrameVote {
+			heard++
+			res.Delivered++
+		}
+		i++
+		if heard >= t {
+			res.Decision = true
+			return
+		}
+		if heard+(n-i) < t {
+			res.Decision = false
+			return
+		}
+		kern.After(slotTicks, tick)
+	}
+	kern.After(0, tick)
+	kern.Run()
+	return res
+}

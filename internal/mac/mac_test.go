@@ -1,0 +1,186 @@
+package mac
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tcast/internal/baseline"
+	"tcast/internal/bitset"
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+	"tcast/internal/sim"
+)
+
+const initiatorID = 1000
+
+func run(t *testing.T, n, th, x int, cfg radio.Config, seed uint64, collector func(*radio.Medium, *sim.Kernel, []int, *rng.Source) Result) Result {
+	t.Helper()
+	r := rng.New(seed)
+	positives := r.Split(1).Sample(n, x)
+	med := radio.NewMedium(cfg, r.Split(2))
+	var kern sim.Kernel
+	return collector(med, &kern, positives, r.Split(3))
+}
+
+func runCSMA(t *testing.T, n, th, x int, cfg radio.Config, seed uint64) Result {
+	return run(t, n, th, x, cfg, seed, func(m *radio.Medium, k *sim.Kernel, pos []int, r *rng.Source) Result {
+		return CSMA{InitiatorID: initiatorID}.Run(m, k, n, th, pos, r)
+	})
+}
+
+func runTDMA(t *testing.T, n, th, x int, cfg radio.Config, seed uint64) Result {
+	return run(t, n, th, x, cfg, seed, func(m *radio.Medium, k *sim.Kernel, pos []int, r *rng.Source) Result {
+		return TDMA{InitiatorID: initiatorID}.Run(m, k, n, th, pos, r)
+	})
+}
+
+func TestCSMACorrectOnPerfectRadio(t *testing.T) {
+	for _, tc := range []struct{ n, th, x int }{
+		{32, 8, 0}, {32, 8, 7}, {32, 8, 8}, {32, 8, 32}, {16, 1, 1}, {16, 16, 15},
+	} {
+		for seed := uint64(0); seed < 5; seed++ {
+			res := runCSMA(t, tc.n, tc.th, tc.x, radio.Config{}, seed)
+			if want := tc.x >= tc.th; res.Decision != want {
+				t.Fatalf("n=%d t=%d x=%d: decision %v", tc.n, tc.th, tc.x, res.Decision)
+			}
+		}
+	}
+}
+
+func TestCSMATrivial(t *testing.T) {
+	res := runCSMA(t, 8, 0, 4, radio.Config{}, 1)
+	if !res.Decision || res.Slots != 0 {
+		t.Fatalf("t=0: %+v", res)
+	}
+	res = runCSMA(t, 8, 9, 4, radio.Config{}, 1)
+	if res.Decision || res.Slots != 0 {
+		t.Fatalf("t>n: %+v", res)
+	}
+}
+
+func TestCSMADeliversAllDespiteLoss(t *testing.T) {
+	// Lossy votes force retries, but idealized termination still waits
+	// for every reply, so all must eventually arrive.
+	cfg := radio.Config{MissProb: 0.3}
+	res := runCSMA(t, 32, 32, 20, cfg, 2)
+	if res.Delivered != 20 {
+		t.Fatalf("Delivered = %d, want 20", res.Delivered)
+	}
+}
+
+func TestCSMALossIncreasesCost(t *testing.T) {
+	const n, th, x, runs = 64, 64, 30, 100
+	var clean, lossy int
+	for i := 0; i < runs; i++ {
+		clean += runCSMA(t, n, th, x, radio.Config{}, uint64(i)).Slots
+		lossy += runCSMA(t, n, th, x, radio.Config{MissProb: 0.4}, uint64(1000+i)).Slots
+	}
+	if lossy <= clean {
+		t.Fatalf("loss did not increase cost: clean=%d lossy=%d", clean, lossy)
+	}
+}
+
+func TestCSMAMatchesAbstractBaseline(t *testing.T) {
+	// On a perfect radio the packet-level collector and the abstract
+	// baseline implement the same protocol; mean slot counts must agree.
+	const n, th, x, runs = 64, 64, 24, 300
+	var packet, abstract int
+	for i := 0; i < runs; i++ {
+		packet += runCSMA(t, n, th, x, radio.Config{}, uint64(i)).Slots
+
+		r := rng.New(uint64(50000 + i))
+		pos := bitset.New(n)
+		for _, id := range r.Split(1).Sample(n, x) {
+			pos.Add(id)
+		}
+		abstract += baseline.CSMA{}.Run(n, th, pos, r.Split(3)).Slots
+	}
+	pm, am := float64(packet)/runs, float64(abstract)/runs
+	if math.Abs(pm-am) > 0.15*am+1 {
+		t.Fatalf("packet mean %v vs abstract mean %v", pm, am)
+	}
+}
+
+func TestTDMACorrect(t *testing.T) {
+	for _, tc := range []struct{ n, th, x int }{
+		{32, 8, 0}, {32, 8, 7}, {32, 8, 8}, {32, 8, 32}, {16, 1, 1},
+	} {
+		for seed := uint64(0); seed < 5; seed++ {
+			res := runTDMA(t, tc.n, tc.th, tc.x, radio.Config{}, seed)
+			if want := tc.x >= tc.th; res.Decision != want {
+				t.Fatalf("n=%d t=%d x=%d: decision %v", tc.n, tc.th, tc.x, res.Decision)
+			}
+		}
+	}
+}
+
+func TestTDMACountsScheduleSlot(t *testing.T) {
+	// x = n: schedule slot + t reply slots.
+	res := runTDMA(t, 32, 8, 32, radio.Config{}, 3)
+	if !res.Decision || res.Slots != 1+8 {
+		t.Fatalf("x=n: %+v, want slots=9", res)
+	}
+}
+
+func TestTDMAZeroPositives(t *testing.T) {
+	// x = 0: schedule + (n-t+1) silent slots.
+	res := runTDMA(t, 32, 8, 0, radio.Config{}, 4)
+	if res.Decision || res.Slots != 1+32-8+1 {
+		t.Fatalf("x=0: %+v, want slots=%d", res, 1+32-8+1)
+	}
+}
+
+func TestQuickCSMAAndTDMACorrect(t *testing.T) {
+	f := func(seed uint64, nRaw, tRaw, xRaw uint8, useTDMA bool) bool {
+		n := int(nRaw%32) + 1
+		th := int(tRaw) % (n + 2)
+		x := int(xRaw) % (n + 1)
+		r := rng.New(seed)
+		positives := r.Split(1).Sample(n, x)
+		med := radio.NewMedium(radio.Config{}, r.Split(2))
+		var kern sim.Kernel
+		var res Result
+		if useTDMA {
+			res = TDMA{InitiatorID: initiatorID}.Run(med, &kern, n, th, positives, r.Split(3))
+		} else {
+			res = CSMA{InitiatorID: initiatorID}.Run(med, &kern, n, th, positives, r.Split(3))
+		}
+		return res.Decision == (x >= th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSMAGuardCanBeFooled(t *testing.T) {
+	// A tiny guard demonstrates the paper's point: CSMA cannot certify
+	// x < t. With guard 1, a single idle slot aborts collection even
+	// though stations are still backed off, so with many positives the
+	// initiator sometimes under-counts.
+	wrong := 0
+	for i := 0; i < 200; i++ {
+		r := rng.New(uint64(i))
+		positives := r.Split(1).Sample(32, 10)
+		med := radio.NewMedium(radio.Config{}, r.Split(2))
+		var kern sim.Kernel
+		res := CSMA{GuardSlots: 1, InitiatorID: initiatorID}.Run(med, &kern, 32, 10, positives, r.Split(3))
+		if !res.Decision {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("guard=1 never produced a premature false decision")
+	}
+}
+
+func BenchmarkPacketCSMA(b *testing.B) {
+	root := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		r := root.Split(uint64(i))
+		positives := r.Split(1).Sample(64, 16)
+		med := radio.NewMedium(radio.Config{}, r.Split(2))
+		var kern sim.Kernel
+		CSMA{InitiatorID: initiatorID}.Run(med, &kern, 64, 16, positives, r.Split(3))
+	}
+}

@@ -1,0 +1,195 @@
+// Package multihop implements the paper's stated future work (Section
+// VII): evaluating tcast "in a multihop network environment with
+// interfering traffic". A Field is a grid of single-hop regions, each
+// running its own threshold-query session; traffic offered by neighboring
+// regions appears at a region's initiator as external interference, with
+// the coupling attenuated by distance-one propagation.
+//
+// The experiment the package supports is exactly the Section III-B
+// argument: pollcast's CCA sensing converts neighbor traffic into
+// false-positive "non-empty" bins, while backcast's HACK gating is immune
+// to false positives but can suffer false negatives when interference
+// jams HACK reception.
+package multihop
+
+import (
+	"fmt"
+	"sync"
+
+	"tcast/internal/core"
+	"tcast/internal/pollcast"
+	"tcast/internal/query"
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+)
+
+// Field is a Width×Height grid of single-hop regions.
+type Field struct {
+	Width, Height int
+	// NodesPerRegion is the participant count of each region's
+	// neighborhood.
+	NodesPerRegion int
+	// Load is the per-region offered load: the probability that the
+	// region occupies a given slot with its own traffic. Length must be
+	// Width*Height.
+	Load []float64
+}
+
+// NewField builds a grid with uniform offered load.
+func NewField(width, height, nodesPerRegion int, load float64) (*Field, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("multihop: non-positive grid %dx%d", width, height)
+	}
+	if nodesPerRegion <= 0 {
+		return nil, fmt.Errorf("multihop: need nodes per region, got %d", nodesPerRegion)
+	}
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("multihop: load %v outside [0,1]", load)
+	}
+	loads := make([]float64, width*height)
+	for i := range loads {
+		loads[i] = load
+	}
+	return &Field{Width: width, Height: height, NodesPerRegion: nodesPerRegion, Load: loads}, nil
+}
+
+// Regions returns the number of regions in the field.
+func (f *Field) Regions() int { return f.Width * f.Height }
+
+// Neighbors returns the 4-neighborhood of region i in row-major order.
+func (f *Field) Neighbors(i int) []int {
+	x, y := i%f.Width, i/f.Width
+	var out []int
+	if y > 0 {
+		out = append(out, i-f.Width)
+	}
+	if x > 0 {
+		out = append(out, i-1)
+	}
+	if x < f.Width-1 {
+		out = append(out, i+1)
+	}
+	if y < f.Height-1 {
+		out = append(out, i+f.Width)
+	}
+	return out
+}
+
+// InterferenceAt returns the per-slot probability that region i's
+// initiator senses energy from neighboring regions: each neighbor with
+// offered load L contributes an independent busy probability L·coupling.
+func (f *Field) InterferenceAt(i int, coupling float64) float64 {
+	quiet := 1.0
+	for _, nb := range f.Neighbors(i) {
+		quiet *= 1 - f.Load[nb]*coupling
+	}
+	return 1 - quiet
+}
+
+// Campaign runs one threshold query per region, all regions concurrently,
+// and grades each decision against the region's configured ground truth.
+type Campaign struct {
+	Field *Field
+	// Primitive selects pollcast (interference-exposed) or backcast
+	// (false-positive-immune).
+	Primitive pollcast.Primitive
+	// Coupling attenuates neighbor load into interference probability.
+	Coupling float64
+	// Jam makes interference destroy in-region frame decoding too — the
+	// mechanism behind backcast false negatives.
+	Jam bool
+	// Threshold is each region's t.
+	Threshold int
+	// Positives is each region's ground-truth positive count; length
+	// must equal Field.Regions().
+	Positives []int
+}
+
+// RegionResult grades one region's session.
+type RegionResult struct {
+	Region   int
+	Truth    bool
+	Decision bool
+	Queries  int
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Regions        int
+	FalsePositives int
+	FalseNegatives int
+	TotalQueries   int
+}
+
+// Run executes the campaign with one goroutine per region. Region i's
+// randomness derives from (seed, i), so results are deterministic and
+// independent of scheduling.
+func (c Campaign) Run(seed uint64) ([]RegionResult, Summary, error) {
+	f := c.Field
+	if len(c.Positives) != f.Regions() {
+		return nil, Summary{}, fmt.Errorf("multihop: %d positive counts for %d regions", len(c.Positives), f.Regions())
+	}
+	root := rng.New(seed)
+	results := make([]RegionResult, f.Regions())
+	errs := make([]error, f.Regions())
+	var wg sync.WaitGroup
+	for i := 0; i < f.Regions(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.runRegion(i, root.Split(uint64(i)))
+		}(i)
+	}
+	wg.Wait()
+	var sum Summary
+	sum.Regions = f.Regions()
+	for i, err := range errs {
+		if err != nil {
+			return nil, Summary{}, fmt.Errorf("multihop: region %d: %w", i, err)
+		}
+		r := results[i]
+		sum.TotalQueries += r.Queries
+		if r.Decision && !r.Truth {
+			sum.FalsePositives++
+		}
+		if !r.Decision && r.Truth {
+			sum.FalseNegatives++
+		}
+	}
+	return results, sum, nil
+}
+
+func (c Campaign) runRegion(i int, r *rng.Source) (RegionResult, error) {
+	f := c.Field
+	n := f.NodesPerRegion
+	x := c.Positives[i]
+	if x < 0 || x > n {
+		return RegionResult{}, fmt.Errorf("x=%d outside [0,%d]", x, n)
+	}
+	parts := make([]*pollcast.Participant, n)
+	for id := range parts {
+		parts[id] = &pollcast.Participant{ID: id}
+	}
+	for _, id := range r.Split(1).Sample(n, x) {
+		parts[id].Positive = true
+	}
+	med := radio.NewMedium(radio.Config{
+		InterferenceProb: f.InterferenceAt(i, c.Coupling),
+		InterferenceJams: c.Jam,
+	}, r.Split(2))
+	const initiatorID = 1 << 16
+	sess, err := pollcast.NewSession(med, initiatorID, parts, c.Primitive, query.OnePlus)
+	if err != nil {
+		return RegionResult{}, err
+	}
+	res, err := (core.TwoTBins{}).Run(sess, n, c.Threshold, r.Split(3))
+	if err != nil {
+		return RegionResult{}, err
+	}
+	return RegionResult{
+		Region:   i,
+		Truth:    x >= c.Threshold,
+		Decision: res.Decision,
+		Queries:  res.Queries,
+	}, nil
+}

@@ -1,0 +1,221 @@
+package pollcast
+
+import (
+	"testing"
+
+	"tcast/internal/query"
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+)
+
+const initiatorID = 1000
+
+func makeParts(n int, positives ...int) []*Participant {
+	pos := make(map[int]bool)
+	for _, p := range positives {
+		pos[p] = true
+	}
+	parts := make([]*Participant, n)
+	for i := range parts {
+		parts[i] = &Participant{ID: i, Positive: pos[i]}
+	}
+	return parts
+}
+
+func newSession(t *testing.T, cfg radio.Config, seed uint64, prim Primitive, model query.CollisionModel, parts []*Participant) *Session {
+	t.Helper()
+	med := radio.NewMedium(cfg, rng.New(seed))
+	s, err := NewSession(med, initiatorID, parts, prim, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPollcastEmptyAndActive(t *testing.T) {
+	s := newSession(t, radio.Config{}, 1, Pollcast, query.OnePlus, makeParts(8, 2, 5))
+	if r := s.Query([]int{0, 1, 3}); r.Kind != query.Empty {
+		t.Fatalf("all-negative bin: %v", r.Kind)
+	}
+	if r := s.Query([]int{1, 2, 3}); r.Kind != query.Active {
+		t.Fatalf("bin with positive: %v", r.Kind)
+	}
+	if s.Slots() != 4 {
+		t.Fatalf("slots = %d, want 4 (2 per query)", s.Slots())
+	}
+}
+
+func TestPollcastTwoPlusDecodesSingle(t *testing.T) {
+	s := newSession(t, radio.Config{CaptureBeta: 0.5}, 2, Pollcast, query.TwoPlus, makeParts(8, 5))
+	for i := 0; i < 20; i++ {
+		r := s.Query([]int{4, 5, 6})
+		if r.Kind != query.Decoded || r.DecodedID != 5 {
+			t.Fatalf("lone positive: %+v", r)
+		}
+	}
+}
+
+func TestPollcastTwoPlusCollisionOrCapture(t *testing.T) {
+	s := newSession(t, radio.Config{CaptureBeta: 0.5}, 3, Pollcast, query.TwoPlus, makeParts(8, 1, 2))
+	decoded, collided := 0, 0
+	for i := 0; i < 2000; i++ {
+		switch r := s.Query([]int{1, 2}); r.Kind {
+		case query.Decoded:
+			decoded++
+			if r.DecodedID != 1 && r.DecodedID != 2 {
+				t.Fatalf("decoded non-voter %d", r.DecodedID)
+			}
+		case query.Collision:
+			collided++
+		default:
+			t.Fatalf("unexpected kind %v", r.Kind)
+		}
+	}
+	if decoded == 0 || collided == 0 {
+		t.Fatalf("capture effect not exercised: decoded=%d collided=%d", decoded, collided)
+	}
+}
+
+func TestBackcastEmptyAndActive(t *testing.T) {
+	s := newSession(t, radio.Config{}, 4, Backcast, query.OnePlus, makeParts(8, 2, 5))
+	if r := s.Query([]int{0, 1, 3}); r.Kind != query.Empty {
+		t.Fatalf("all-negative bin: %v", r.Kind)
+	}
+	if r := s.Query([]int{2, 5}); r.Kind != query.Active {
+		t.Fatalf("two positives (superposed HACKs): %v", r.Kind)
+	}
+	if s.Slots() != 6 {
+		t.Fatalf("slots = %d, want 6 (3 per query)", s.Slots())
+	}
+}
+
+func TestBackcastRejectsTwoPlus(t *testing.T) {
+	med := radio.NewMedium(radio.Config{}, rng.New(5))
+	if _, err := NewSession(med, initiatorID, makeParts(4), Backcast, query.TwoPlus); err == nil {
+		t.Fatal("backcast with 2+ accepted")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	med := radio.NewMedium(radio.Config{}, rng.New(6))
+	if _, err := NewSession(med, 3, makeParts(4), Pollcast, query.OnePlus); err == nil {
+		t.Fatal("initiator ID collision accepted")
+	}
+	dup := []*Participant{{ID: 1}, {ID: 1}}
+	if _, err := NewSession(med, initiatorID, dup, Pollcast, query.OnePlus); err == nil {
+		t.Fatal("duplicate participant accepted")
+	}
+}
+
+func TestPollcastInterferenceFalsePositive(t *testing.T) {
+	// CCA sensing cannot tell interference from votes: pollcast reports
+	// Active for an all-negative bin under constant interference.
+	cfg := radio.Config{InterferenceProb: 1}
+	s := newSession(t, cfg, 7, Pollcast, query.OnePlus, makeParts(8))
+	if r := s.Query([]int{0, 1}); r.Kind != query.Active {
+		t.Fatalf("pollcast under interference: %v, want false-positive Active", r.Kind)
+	}
+}
+
+func TestBackcastInterferenceImmunity(t *testing.T) {
+	// Section III-B: "the interference cannot yield a false-positive
+	// 'non-empty' decision" for backcast.
+	cfg := radio.Config{InterferenceProb: 1}
+	s := newSession(t, cfg, 8, Backcast, query.OnePlus, makeParts(8))
+	for i := 0; i < 50; i++ {
+		if r := s.Query([]int{0, 1}); r.Kind != query.Empty {
+			t.Fatalf("backcast false positive under interference: %v", r.Kind)
+		}
+	}
+}
+
+func TestBackcastInterferenceFalseNegative(t *testing.T) {
+	// ... but jamming interference can hide a real HACK: false
+	// negatives remain possible in multihop environments.
+	cfg := radio.Config{InterferenceProb: 1, InterferenceJams: true}
+	s := newSession(t, cfg, 9, Backcast, query.OnePlus, makeParts(8, 3))
+	if r := s.Query([]int{3}); r.Kind != query.Empty {
+		t.Fatalf("jammed backcast: %v, want false-negative Empty", r.Kind)
+	}
+}
+
+func TestBackcastLossyHACKFalseNegativeRate(t *testing.T) {
+	// Per-copy loss: single-HACK groups miss far more often than
+	// three-HACK groups (the testbed's dominant error mode).
+	cfg := radio.Config{MissProb: 0.2}
+	s := newSession(t, cfg, 10, Backcast, query.OnePlus, makeParts(8, 1, 2, 3))
+	missOne, missThree := 0, 0
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		if s.Query([]int{1}).Kind == query.Empty {
+			missOne++
+		}
+		if s.Query([]int{1, 2, 3}).Kind == query.Empty {
+			missThree++
+		}
+	}
+	if missOne <= missThree*5 {
+		t.Fatalf("superposition did not reduce misses: 1-HACK=%d 3-HACK=%d", missOne, missThree)
+	}
+}
+
+func TestLostPollSilencesParticipants(t *testing.T) {
+	// If the control frame never reaches the participants, nobody
+	// answers: the whole network looks negative (a false-negative
+	// mechanism distinct from HACK loss).
+	cfg := radio.Config{ControlMissProb: 1}
+	s := newSession(t, cfg, 15, Backcast, query.OnePlus, makeParts(8, 1, 2, 3))
+	for i := 0; i < 20; i++ {
+		if r := s.Query([]int{1, 2, 3}); r.Kind != query.Empty {
+			t.Fatalf("lost poll still produced %v", r.Kind)
+		}
+	}
+}
+
+func TestPartiallyLostPollThinsReplies(t *testing.T) {
+	// With 50% control loss roughly half the positives hear the poll;
+	// superposition still usually carries the decision, so non-empty
+	// responses dominate but misses appear.
+	cfg := radio.Config{ControlMissProb: 0.5}
+	s := newSession(t, cfg, 16, Backcast, query.OnePlus, makeParts(8, 1, 2, 3))
+	empty := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if s.Query([]int{1, 2, 3}).Kind == query.Empty {
+			empty++
+		}
+	}
+	// P(all three miss the poll) = 0.125.
+	rate := float64(empty) / trials
+	if rate < 0.08 || rate > 0.18 {
+		t.Fatalf("empty rate %v, want ~0.125", rate)
+	}
+}
+
+func TestTraits(t *testing.T) {
+	p1 := newSession(t, radio.Config{}, 11, Pollcast, query.OnePlus, makeParts(4))
+	if tr := p1.Traits(); tr.Model != query.OnePlus || tr.CaptureEffect {
+		t.Fatalf("pollcast 1+ traits: %+v", tr)
+	}
+	p2 := newSession(t, radio.Config{CaptureBeta: 0.5}, 12, Pollcast, query.TwoPlus, makeParts(4))
+	if tr := p2.Traits(); tr.Model != query.TwoPlus || !tr.CaptureEffect {
+		t.Fatalf("pollcast 2+ traits: %+v", tr)
+	}
+	b := newSession(t, radio.Config{}, 13, Backcast, query.OnePlus, makeParts(4))
+	if tr := b.Traits(); tr.Model != query.OnePlus {
+		t.Fatalf("backcast traits: %+v", tr)
+	}
+}
+
+func TestPrimitiveString(t *testing.T) {
+	if Pollcast.String() != "pollcast" || Backcast.String() != "backcast" {
+		t.Fatal("primitive names wrong")
+	}
+}
+
+func TestNonParticipantIDsIgnored(t *testing.T) {
+	s := newSession(t, radio.Config{}, 14, Pollcast, query.OnePlus, makeParts(4, 2))
+	if r := s.Query([]int{77, 99}); r.Kind != query.Empty {
+		t.Fatalf("unknown IDs answered: %v", r.Kind)
+	}
+}

@@ -1,0 +1,100 @@
+package query
+
+import (
+	"fmt"
+
+	"tcast/internal/bitset"
+)
+
+// Knowledge is the initiator's bookkeeping during a threshold-query
+// session: which nodes might still be positive, how many positives have
+// been identified outright, and the evidence gathered in the current round.
+//
+// Decision rules (generalizing Algorithm 1 lines 11 and 14):
+//
+//   - threshold REACHED when Confirmed + round lower bound ≥ t,
+//   - threshold IMPOSSIBLE when Confirmed + |Candidates| < t.
+//
+// The round lower bound is the sum over this round's queried bins of the
+// guaranteed positives each response implies (Active=1, Collision=2).
+// Decoded responses instead increment Confirmed permanently, because the
+// identified node is removed from the candidate set and keeps counting
+// toward t in later rounds.
+type Knowledge struct {
+	// Candidates holds nodes whose predicate value is still unknown.
+	Candidates *bitset.Set
+	// Confirmed counts positives identified by 2+ decodes. Confirmed
+	// nodes are no longer candidates.
+	Confirmed int
+	// Threshold is t, the query's threshold.
+	Threshold int
+
+	roundLB int
+}
+
+// NewKnowledge starts a session over participants {0..n-1} with
+// threshold t. It panics if t < 0.
+func NewKnowledge(n, t int) *Knowledge {
+	if t < 0 {
+		panic("query: negative threshold")
+	}
+	return &Knowledge{Candidates: bitset.Full(n), Threshold: t}
+}
+
+// StartRound resets the per-round lower bound. Call at the top of each
+// re-binning round.
+func (k *Knowledge) StartRound() { k.roundLB = 0 }
+
+// RoundLowerBound returns the guaranteed positive count among the bins
+// queried so far in the current round, excluding Confirmed nodes.
+func (k *Knowledge) RoundLowerBound() int { return k.roundLB }
+
+// LowerBound returns the total guaranteed positive count: confirmed
+// positives plus the current round's bin evidence.
+func (k *Knowledge) LowerBound() int { return k.Confirmed + k.roundLB }
+
+// UpperBound returns the largest x still possible: confirmed positives plus
+// all remaining candidates.
+func (k *Knowledge) UpperBound() int { return k.Confirmed + k.Candidates.Len() }
+
+// Apply folds one bin's response into the ledger. traits tells Apply how
+// much a Decoded response proves (see Traits.CaptureEffect).
+func (k *Knowledge) Apply(bin []int, r Response, traits Traits) {
+	switch r.Kind {
+	case Empty:
+		// Every node in a silent bin is negative (Alg 1 line 8).
+		for _, id := range bin {
+			k.Candidates.Remove(id)
+		}
+	case Active:
+		k.roundLB++
+	case Collision:
+		k.roundLB += 2
+	case Decoded:
+		k.Confirmed++
+		k.Candidates.Remove(r.DecodedID)
+		if !traits.CaptureEffect {
+			// Without capture, a decode proves the bin had exactly
+			// one replier: everyone else in the bin is negative.
+			for _, id := range bin {
+				if id != r.DecodedID {
+					k.Candidates.Remove(id)
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("query: unknown response kind %v", r.Kind))
+	}
+}
+
+// Decision reports whether the threshold question is resolved:
+// (answer, true) once decided, (false, false) while still open.
+func (k *Knowledge) Decision() (answer, decided bool) {
+	if k.LowerBound() >= k.Threshold {
+		return true, true
+	}
+	if k.UpperBound() < k.Threshold {
+		return false, true
+	}
+	return false, false
+}

@@ -1,0 +1,133 @@
+// Package query defines the group-query abstraction shared by every
+// substrate in the repository.
+//
+// All tcast algorithms are written against the Querier interface: one call
+// polls one group (bin) of nodes with the predicate and returns only the
+// information an RCD initiator can observe. The same algorithm code
+// therefore runs unchanged on the fast abstract channel (package fastsim),
+// on the packet-level radio simulation (package pollcast), and on the
+// emulated mote testbed (package motelab).
+package query
+
+import "fmt"
+
+// CollisionModel selects what the initiator's radio can distinguish when a
+// group replies, per Section III-A of the paper.
+type CollisionModel int
+
+const (
+	// OnePlus ("1+"): the initiator senses only silence or channel
+	// activity (RSSI/CCA/HACK energy). Activity means at least one
+	// positive node.
+	OnePlus CollisionModel = iota
+	// TwoPlus ("2+"): the radio can additionally lock onto and decode a
+	// single frame. Decoding yields the replier's identity; detected
+	// activity without a decode implies at least two repliers.
+	TwoPlus
+)
+
+// String implements fmt.Stringer.
+func (m CollisionModel) String() string {
+	switch m {
+	case OnePlus:
+		return "1+"
+	case TwoPlus:
+		return "2+"
+	default:
+		return fmt.Sprintf("CollisionModel(%d)", int(m))
+	}
+}
+
+// Kind classifies the outcome of one group query.
+type Kind int
+
+const (
+	// Empty: silence — no positive node in the queried bin (modulo radio
+	// false negatives on lossy substrates).
+	Empty Kind = iota
+	// Active: channel activity under the 1+ model — at least one
+	// positive node replied, count unknown.
+	Active
+	// Decoded: under the 2+ model one reply frame was received
+	// correctly, identifying a single positive node. With the capture
+	// effect present, the bin may contain further positives.
+	Decoded
+	// Collision: under the 2+ model activity was detected but no frame
+	// could be decoded — at least two positive nodes replied.
+	Collision
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Empty:
+		return "empty"
+	case Active:
+		return "active"
+	case Decoded:
+		return "decoded"
+	case Collision:
+		return "collision"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Response is what the initiator learns from one group query.
+type Response struct {
+	Kind Kind
+	// DecodedID is the identified positive node; valid only when
+	// Kind == Decoded.
+	DecodedID int
+}
+
+// MinPositives returns the guaranteed lower bound on positive nodes in the
+// queried bin implied by the response alone.
+func (r Response) MinPositives() int {
+	switch r.Kind {
+	case Empty:
+		return 0
+	case Active, Decoded:
+		return 1
+	case Collision:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Traits describes what a substrate's radio can do; algorithms consult it
+// to decide how much they may infer from each response.
+type Traits struct {
+	Model CollisionModel
+	// CaptureEffect reports whether a decoded frame may hide further
+	// simultaneous repliers (CC2420-style capture). When false, a
+	// Decoded response proves the bin held exactly one positive node,
+	// so all other bin members may be excluded as negatives.
+	CaptureEffect bool
+}
+
+// Querier is one predicate-query session against a fixed population. A
+// single Query call polls the nodes listed in bin and reports what the
+// initiator's radio observed. Implementations are not required to be safe
+// for concurrent use.
+type Querier interface {
+	Query(bin []int) Response
+	Traits() Traits
+}
+
+// Counting wraps a Querier and counts issued queries — the paper's cost
+// metric.
+type Counting struct {
+	Q       Querier
+	Queries int
+}
+
+// Query implements Querier, forwarding to the wrapped querier.
+func (c *Counting) Query(bin []int) Response {
+	c.Queries++
+	return c.Q.Query(bin)
+}
+
+// Traits implements Querier.
+func (c *Counting) Traits() Traits { return c.Q.Traits() }

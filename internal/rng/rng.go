@@ -1,0 +1,199 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the samplers the simulators need.
+//
+// Reproducibility is a first-class requirement for the experiment harness:
+// every simulated trial derives its own independent stream from a root seed
+// plus a trial label, so trials can run on any number of goroutines in any
+// order and still produce bit-identical results. The generator is
+// xoshiro256** seeded through SplitMix64, both implemented here so the
+// module has no dependency on math/rand's global state or version-dependent
+// stream definitions.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random stream. It is NOT safe for
+// concurrent use; derive one Source per goroutine with Split.
+type Source struct {
+	s [4]uint64
+	// key identifies this stream for Split derivation. It is fixed at
+	// construction so Split results do not depend on how many values the
+	// parent has emitted.
+	key uint64
+	// spare holds a cached second output of the Box-Muller transform.
+	spare    float64
+	hasSpare bool
+}
+
+// splitMix64 advances *x and returns the next SplitMix64 output.
+// It is used only for seeding and stream derivation.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Two Sources created with the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	var s Source
+	x := seed
+	s.key = splitMix64(&x)
+	for i := range s.s {
+		s.s[i] = splitMix64(&x)
+	}
+	// xoshiro256** must not start from the all-zero state; SplitMix64 of any
+	// seed cannot produce four zero words, but guard anyway.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+// Split derives an independent Source identified by label. Splitting the
+// same Source with the same label always yields the same stream, and
+// distinct labels yield streams that are independent for all practical
+// purposes. Split does not advance the parent stream, so the derivation
+// tree is stable no matter how many values the parent has emitted.
+func (r *Source) Split(label uint64) *Source {
+	x := r.key ^ (label * 0xd1342543de82ef95)
+	var s Source
+	s.key = splitMix64(&x)
+	for i := range s.s {
+		s.s[i] = splitMix64(&x)
+	}
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 1
+	}
+	return &s
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's nearly-divisionless method keeps the distribution exactly
+// uniform without modulo bias.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bernoulli reports true with probability p (clamped to [0, 1]).
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate using the polar Box-Muller
+// method with a cached spare.
+func (r *Source) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (r *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes s in place using the Fisher-Yates algorithm.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample called with k out of range")
+	}
+	// Partial Fisher-Yates over a dense index array: O(n) setup, exact.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = idx[i]
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package serial
+
+import (
+	"fmt"
+	"io"
+
+	"tcast/internal/mote"
+)
+
+// This file wires the wire protocol to the mote emulation: ServeInitiator
+// runs a decode-dispatch-encode loop that exposes an emulated initiator
+// mote over any byte stream (net.Pipe in tests, a PTY or TCP socket in a
+// hardware-in-the-loop setup), and Client is the controller-side stub.
+
+// Error codes carried by OpError frames.
+const (
+	CodeNotConfigured = 1
+	CodeQueryFailed   = 2
+	CodeBadCommand    = 3
+)
+
+// ServeInitiator speaks the serial protocol over rw on behalf of an
+// initiator mote until rw closes or an I/O error occurs. Configure and
+// Reboot are acknowledged with OpAck; Query returns OpQueryResult or
+// OpError.
+func ServeInitiator(rw io.ReadWriter, ini *mote.Initiator) error {
+	for {
+		m, err := Decode(rw)
+		if err != nil {
+			if err == io.EOF || err == io.ErrClosedPipe {
+				return nil
+			}
+			return err
+		}
+		var reply Message
+		switch m.Op {
+		case OpConfigureInitiator:
+			ini.Configure(m.Threshold)
+			reply = Message{Op: OpAck}
+		case OpReboot:
+			ini.Reboot()
+			reply = Message{Op: OpAck}
+		case OpQuery:
+			outcome, err := ini.Query()
+			if err == mote.ErrNotConfigured {
+				reply = Message{Op: OpError, Code: CodeNotConfigured}
+			} else if err != nil {
+				reply = Message{Op: OpError, Code: CodeQueryFailed}
+			} else {
+				reply = Message{
+					Op:       OpQueryResult,
+					Decision: outcome.Decision,
+					Queries:  outcome.Queries,
+					Rounds:   outcome.Rounds,
+				}
+			}
+		default:
+			reply = Message{Op: OpError, Code: CodeBadCommand}
+		}
+		if err := Encode(rw, reply); err != nil {
+			return err
+		}
+	}
+}
+
+// ServeParticipant speaks the serial protocol on behalf of a participant
+// mote (configure and reboot only, per the paper).
+func ServeParticipant(rw io.ReadWriter, p *mote.Participant) error {
+	for {
+		m, err := Decode(rw)
+		if err != nil {
+			if err == io.EOF || err == io.ErrClosedPipe {
+				return nil
+			}
+			return err
+		}
+		var reply Message
+		switch m.Op {
+		case OpConfigure:
+			p.Configure(m.Positive)
+			reply = Message{Op: OpAck}
+		case OpReboot:
+			p.Reboot()
+			reply = Message{Op: OpAck}
+		default:
+			reply = Message{Op: OpError, Code: CodeBadCommand}
+		}
+		if err := Encode(rw, reply); err != nil {
+			return err
+		}
+	}
+}
+
+// Client is the controller-side stub for one serial link.
+type Client struct {
+	rw io.ReadWriter
+}
+
+// NewClient wraps a byte stream to a mote.
+func NewClient(rw io.ReadWriter) *Client { return &Client{rw: rw} }
+
+func (c *Client) roundTrip(m Message) (Message, error) {
+	if err := Encode(c.rw, m); err != nil {
+		return Message{}, err
+	}
+	return Decode(c.rw)
+}
+
+func (c *Client) expectAck(m Message) error {
+	reply, err := c.roundTrip(m)
+	if err != nil {
+		return err
+	}
+	if reply.Op != OpAck {
+		return fmt.Errorf("serial: expected ack, got op 0x%02x (code %d)", uint8(reply.Op), reply.Code)
+	}
+	return nil
+}
+
+// Configure sets a participant's predicate value.
+func (c *Client) Configure(positive bool) error {
+	return c.expectAck(Message{Op: OpConfigure, Positive: positive})
+}
+
+// ConfigureInitiator sets the initiator's threshold.
+func (c *Client) ConfigureInitiator(threshold int) error {
+	return c.expectAck(Message{Op: OpConfigureInitiator, Threshold: threshold})
+}
+
+// Reboot clears the mote's state.
+func (c *Client) Reboot() error {
+	return c.expectAck(Message{Op: OpReboot})
+}
+
+// Query stimulates one TCast run and returns its result.
+func (c *Client) Query() (decision bool, queries, rounds int, err error) {
+	reply, err := c.roundTrip(Message{Op: OpQuery})
+	if err != nil {
+		return false, 0, 0, err
+	}
+	switch reply.Op {
+	case OpQueryResult:
+		return reply.Decision, reply.Queries, reply.Rounds, nil
+	case OpError:
+		return false, 0, 0, fmt.Errorf("serial: mote error code %d", reply.Code)
+	default:
+		return false, 0, 0, fmt.Errorf("serial: unexpected op 0x%02x", uint8(reply.Op))
+	}
+}

@@ -1,0 +1,167 @@
+package serial
+
+import (
+	"net"
+	"testing"
+
+	"tcast/internal/mote"
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+)
+
+// bootWiredLab builds a 4-mote testbed whose initiator and first
+// participant are reachable over real byte streams (net.Pipe).
+func bootWiredLab(t *testing.T) (iniClient, partClient *Client, parts []*mote.Participant) {
+	t.Helper()
+	root := rng.New(7)
+	med := radio.NewMedium(radio.Config{}, root.Split(1))
+	parts = make([]*mote.Participant, 4)
+	for i := range parts {
+		parts[i] = mote.NewParticipant(i)
+	}
+	ini := mote.NewInitiator(1<<16, med, parts, root.Split(2))
+
+	iniCtrl, iniMote := net.Pipe()
+	partCtrl, partMote := net.Pipe()
+	go func() { _ = ServeInitiator(iniMote, ini) }()
+	go func() { _ = ServeParticipant(partMote, parts[0]) }()
+
+	t.Cleanup(func() {
+		iniCtrl.Close()
+		partCtrl.Close()
+		ini.Close()
+		for _, p := range parts {
+			p.Close()
+		}
+	})
+	return NewClient(iniCtrl), NewClient(partCtrl), parts
+}
+
+func TestWiredQuerySession(t *testing.T) {
+	iniClient, partClient, parts := bootWiredLab(t)
+
+	// Unconfigured query must come back as a protocol-level error.
+	if _, _, _, err := iniClient.Query(); err == nil {
+		t.Fatal("unconfigured query succeeded over the wire")
+	}
+
+	// Configure over the wire: participant 0 positive (via serial),
+	// participants 1 and 2 positive (direct), threshold 3.
+	if err := partClient.Configure(true); err != nil {
+		t.Fatal(err)
+	}
+	parts[1].Configure(true)
+	parts[2].Configure(true)
+	if err := iniClient.ConfigureInitiator(3); err != nil {
+		t.Fatal(err)
+	}
+
+	decision, queries, rounds, err := iniClient.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decision {
+		t.Fatal("3 positives with t=3 decided false")
+	}
+	if queries <= 0 || rounds <= 0 {
+		t.Fatalf("counters not reported: q=%d r=%d", queries, rounds)
+	}
+
+	// Reboot over the wire and re-query: the participant forgets its
+	// predicate, so the threshold fails.
+	if err := partClient.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	decision, _, _, err = iniClient.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decision {
+		t.Fatal("rebooted participant still counted")
+	}
+}
+
+// TestWiredMiniCampaign drives a small Section IV-D-style campaign
+// entirely over serial links: every participant behind its own pipe, the
+// controller configuring, querying and rebooting through the protocol.
+func TestWiredMiniCampaign(t *testing.T) {
+	const n = 6
+	root := rng.New(99)
+	med := radio.NewMedium(radio.Config{}, root.Split(1))
+	parts := make([]*mote.Participant, n)
+	partClients := make([]*Client, n)
+	for i := range parts {
+		parts[i] = mote.NewParticipant(i)
+		ctrl, moteSide := net.Pipe()
+		go func(p *mote.Participant, rw net.Conn) { _ = ServeParticipant(rw, p) }(parts[i], moteSide)
+		partClients[i] = NewClient(ctrl)
+	}
+	ini := mote.NewInitiator(1<<16, med, parts, root.Split(2))
+	iniCtrl, iniMote := net.Pipe()
+	go func() { _ = ServeInitiator(iniMote, ini) }()
+	iniClient := NewClient(iniCtrl)
+	t.Cleanup(func() {
+		iniCtrl.Close()
+		ini.Close()
+		for _, p := range parts {
+			p.Close()
+		}
+	})
+
+	const threshold = 2
+	for x := 0; x <= n; x++ {
+		// Reboot everything over the wire.
+		if err := iniClient.Reboot(); err != nil {
+			t.Fatal(err)
+		}
+		for _, pc := range partClients {
+			if err := pc.Reboot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Configure x positives and the threshold.
+		for i, pc := range partClients {
+			if err := pc.Configure(i < x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := iniClient.ConfigureInitiator(threshold); err != nil {
+			t.Fatal(err)
+		}
+		decision, queries, _, err := iniClient.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decision != (x >= threshold) {
+			t.Fatalf("x=%d: wired campaign decision %v", x, decision)
+		}
+		if queries <= 0 {
+			t.Fatalf("x=%d: no queries reported", x)
+		}
+	}
+}
+
+func TestWiredRebootInitiator(t *testing.T) {
+	iniClient, _, _ := bootWiredLab(t)
+	if err := iniClient.ConfigureInitiator(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := iniClient.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := iniClient.Query(); err == nil {
+		t.Fatal("query after reboot succeeded")
+	}
+}
+
+func TestServerRejectsWrongCommands(t *testing.T) {
+	iniClient, partClient, _ := bootWiredLab(t)
+	// Participant commands to the initiator and vice versa come back as
+	// protocol errors, not hangs.
+	if err := iniClient.Configure(true); err == nil {
+		t.Fatal("initiator accepted a participant-only command")
+	}
+	if err := partClient.ConfigureInitiator(2); err == nil {
+		t.Fatal("participant accepted an initiator-only command")
+	}
+}

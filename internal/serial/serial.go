@@ -1,0 +1,184 @@
+// Package serial implements the wire protocol between the central
+// controlling unit (the paper's laptop) and the motes: the testbed
+// "motes are directly connected to a central controlling unit via serial
+// port interface", and the initiator "exposes configure, query and reboot
+// functions via serial interface". Frames are length-prefixed with an
+// additive checksum, in the spirit of the TinyOS serial stack.
+//
+// Frame layout:
+//
+//	0xAA  sync byte
+//	len   uint8, payload length (op byte + body)
+//	op    uint8, message type
+//	body  op-specific fields, big endian
+//	sum   uint8, additive checksum over len..body
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Sync opens every frame.
+const Sync = 0xAA
+
+// Op identifies a message type.
+type Op uint8
+
+// Message types. Commands flow controller→mote; results flow back.
+const (
+	// OpConfigure sets a participant's predicate value. Body: 1 byte
+	// (0 or 1).
+	OpConfigure Op = 0x01
+	// OpConfigureInitiator sets the initiator's threshold. Body:
+	// uint16 threshold.
+	OpConfigureInitiator Op = 0x02
+	// OpQuery stimulates one TCast run. No body.
+	OpQuery Op = 0x03
+	// OpReboot clears mote state. No body.
+	OpReboot Op = 0x04
+	// OpAck acknowledges a command. No body.
+	OpAck Op = 0x10
+	// OpQueryResult reports a TCast run. Body: 1 byte decision,
+	// uint16 queries, uint16 rounds.
+	OpQueryResult Op = 0x11
+	// OpError reports a mote-side failure. Body: 1 byte error code.
+	OpError Op = 0x12
+)
+
+// Message is one decoded frame.
+type Message struct {
+	Op Op
+	// Positive is OpConfigure's body.
+	Positive bool
+	// Threshold is OpConfigureInitiator's body.
+	Threshold int
+	// Decision, Queries and Rounds are OpQueryResult's body.
+	Decision bool
+	Queries  int
+	Rounds   int
+	// Code is OpError's body.
+	Code uint8
+}
+
+// Encoding errors.
+var (
+	ErrBadSync     = errors.New("serial: bad sync byte")
+	ErrBadChecksum = errors.New("serial: checksum mismatch")
+	ErrBadLength   = errors.New("serial: length does not match op")
+	ErrUnknownOp   = errors.New("serial: unknown op")
+)
+
+// bodyLen returns the body size for an op, or -1 if unknown.
+func bodyLen(op Op) int {
+	switch op {
+	case OpConfigure:
+		return 1
+	case OpConfigureInitiator:
+		return 2
+	case OpQuery, OpReboot, OpAck:
+		return 0
+	case OpQueryResult:
+		return 5
+	case OpError:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Encode writes one frame to w.
+func Encode(w io.Writer, m Message) error {
+	n := bodyLen(m.Op)
+	if n < 0 {
+		return fmt.Errorf("%w: 0x%02x", ErrUnknownOp, uint8(m.Op))
+	}
+	frame := make([]byte, 0, 4+n)
+	frame = append(frame, Sync, byte(1+n), byte(m.Op))
+	switch m.Op {
+	case OpConfigure:
+		frame = append(frame, boolByte(m.Positive))
+	case OpConfigureInitiator:
+		if m.Threshold < 0 || m.Threshold > 0xFFFF {
+			return fmt.Errorf("serial: threshold %d out of range", m.Threshold)
+		}
+		frame = binary.BigEndian.AppendUint16(frame, uint16(m.Threshold))
+	case OpQueryResult:
+		if m.Queries < 0 || m.Queries > 0xFFFF || m.Rounds < 0 || m.Rounds > 0xFFFF {
+			return fmt.Errorf("serial: counters out of range")
+		}
+		frame = append(frame, boolByte(m.Decision))
+		frame = binary.BigEndian.AppendUint16(frame, uint16(m.Queries))
+		frame = binary.BigEndian.AppendUint16(frame, uint16(m.Rounds))
+	case OpError:
+		frame = append(frame, m.Code)
+	}
+	frame = append(frame, checksum(frame[1:]))
+	_, err := w.Write(frame)
+	return err
+}
+
+// Decode reads one frame from r.
+func Decode(r io.Reader) (Message, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	if hdr[0] != Sync {
+		return Message{}, fmt.Errorf("%w: 0x%02x", ErrBadSync, hdr[0])
+	}
+	plen := int(hdr[1])
+	if plen < 1 {
+		return Message{}, ErrBadLength
+	}
+	payload := make([]byte, plen+1) // + checksum
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, err
+	}
+	body, sum := payload[:plen], payload[plen]
+	if got := checksum(append([]byte{hdr[1]}, body...)); got != sum {
+		return Message{}, ErrBadChecksum
+	}
+	op := Op(body[0])
+	want := bodyLen(op)
+	if want < 0 {
+		return Message{}, fmt.Errorf("%w: 0x%02x", ErrUnknownOp, body[0])
+	}
+	if plen-1 != want {
+		return Message{}, ErrBadLength
+	}
+	m := Message{Op: op}
+	rest := body[1:]
+	switch op {
+	case OpConfigure:
+		m.Positive = rest[0] != 0
+	case OpConfigureInitiator:
+		m.Threshold = int(binary.BigEndian.Uint16(rest))
+	case OpQueryResult:
+		m.Decision = rest[0] != 0
+		m.Queries = int(binary.BigEndian.Uint16(rest[1:3]))
+		m.Rounds = int(binary.BigEndian.Uint16(rest[3:5]))
+	case OpError:
+		m.Code = rest[0]
+	}
+	return m, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// checksum is the additive checksum over len..body, inverted so an
+// all-zero frame does not validate.
+func checksum(data []byte) byte {
+	var s byte
+	for _, b := range data {
+		s += b
+	}
+	return ^s
+}

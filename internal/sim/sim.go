@@ -1,0 +1,106 @@
+// Package sim provides the discrete-event kernel under the packet-level
+// simulations: a virtual clock and an ordered event queue. Events
+// scheduled for the same instant fire in scheduling order, so simulations
+// are fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in ticks. The packet-level substrates interpret one
+// tick as one 802.15.4 symbol period (16 µs on the CC2420's 2.4 GHz PHY),
+// but the kernel itself is unit-agnostic.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	do  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event scheduler. The zero value is
+// ready to use. Kernels are not safe for concurrent use; simulations that
+// span goroutines (package motelab) serialize access externally.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending returns the number of events still queued.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules do to run at absolute virtual time t. Scheduling in the
+// past panics: it would silently reorder causality.
+func (k *Kernel) At(t Time, do func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, do: do})
+}
+
+// After schedules do to run d ticks from now. Negative d panics.
+func (k *Kernel) After(d Time, do func()) { k.At(k.now+d, do) }
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event ran.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 || k.stopped {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.at
+	e.do()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t.
+func (k *Kernel) RunUntil(t Time) {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped && k.events[0].at <= t {
+		k.Step()
+	}
+	if !k.stopped && t > k.now {
+		k.now = t
+	}
+}
+
+// Stop aborts the current Run/RunUntil after the in-flight event returns.
+// Pending events stay queued.
+func (k *Kernel) Stop() { k.stopped = true }

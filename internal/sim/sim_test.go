@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueKernel(t *testing.T) {
+	var k Kernel
+	if k.Now() != 0 || k.Pending() != 0 {
+		t.Fatal("zero kernel not empty at time 0")
+	}
+	if k.Step() {
+		t.Fatal("Step on empty kernel ran something")
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var k Kernel
+	var got []Time
+	for _, at := range []Time{30, 10, 20} {
+		at := at
+		k.At(at, func() { got = append(got, at) })
+	}
+	k.Run()
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("order = %v", got)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", k.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	var k Kernel
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(7, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	var k Kernel
+	var at Time
+	k.At(10, func() {
+		k.After(5, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %d, want 15", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var k Kernel
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	ran := 0
+	for _, at := range []Time{5, 10, 15, 20} {
+		k.At(at, func() { ran++ })
+	}
+	k.RunUntil(12)
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if k.Now() != 12 {
+		t.Fatalf("Now = %d, want 12", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	k.RunUntil(20)
+	if ran != 4 || k.Now() != 20 {
+		t.Fatalf("after second RunUntil: ran=%d now=%d", ran, k.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	var k Kernel
+	ran := false
+	k.At(10, func() { ran = true })
+	k.RunUntil(10)
+	if !ran {
+		t.Fatal("event at boundary did not run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	var k Kernel
+	ran := 0
+	k.At(1, func() { ran++; k.Stop() })
+	k.At(2, func() { ran++ })
+	k.Run()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt Run: ran=%d", ran)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending events dropped: %d", k.Pending())
+	}
+	k.Run() // resume
+	if ran != 2 {
+		t.Fatal("resumed Run did not drain")
+	}
+}
+
+func TestCascadedScheduling(t *testing.T) {
+	// An event chain where each event schedules the next models a
+	// periodic slot ticker.
+	var k Kernel
+	const slots = 100
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < slots {
+			k.After(10, tick)
+		}
+	}
+	k.At(0, tick)
+	k.Run()
+	if count != slots {
+		t.Fatalf("ticks = %d, want %d", count, slots)
+	}
+	if k.Now() != Time((slots-1)*10) {
+		t.Fatalf("Now = %d", k.Now())
+	}
+}
+
+func TestQuickOrdering(t *testing.T) {
+	// Arbitrary timestamp sets always execute in sorted order.
+	f := func(timesRaw []uint16) bool {
+		var k Kernel
+		var got []Time
+		for _, tr := range timesRaw {
+			at := Time(tr)
+			k.At(at, func() { got = append(got, at) })
+		}
+		k.Run()
+		if len(got) != len(timesRaw) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var k Kernel
+		for j := 0; j < 100; j++ {
+			k.At(Time(j%17), func() {})
+		}
+		k.Run()
+	}
+}

@@ -1,0 +1,127 @@
+package timing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAckAirtimeMatchesDatasheet(t *testing.T) {
+	// 11 bytes on air at 32 µs/byte = 352 µs, the standard 802.15.4
+	// ACK duration.
+	if got := AckAirtime(); got != 352*time.Microsecond {
+		t.Fatalf("AckAirtime = %v, want 352µs", got)
+	}
+}
+
+func TestTurnaroundAndBackoff(t *testing.T) {
+	if Turnaround != 192*time.Microsecond {
+		t.Fatalf("Turnaround = %v, want 192µs", Turnaround)
+	}
+	if BackoffSlot != 320*time.Microsecond {
+		t.Fatalf("BackoffSlot = %v, want 320µs", BackoffSlot)
+	}
+}
+
+func TestFrameAirtime(t *testing.T) {
+	// Empty payload: 17 bytes on air = 544 µs.
+	if got := FrameAirtime(0); got != 544*time.Microsecond {
+		t.Fatalf("FrameAirtime(0) = %v", got)
+	}
+	// Each payload byte adds 32 µs.
+	if FrameAirtime(10)-FrameAirtime(0) != 320*time.Microsecond {
+		t.Fatal("payload bytes not 32µs each")
+	}
+	// Negative payloads clamp.
+	if FrameAirtime(-5) != FrameAirtime(0) {
+		t.Fatal("negative payload not clamped")
+	}
+}
+
+func TestDefaultCostsOrdering(t *testing.T) {
+	c := DefaultCosts(128)
+	// The superposed HACK (352µs) is shorter than a full vote frame, so
+	// a backcast query beats a pollcast query once bound.
+	if c.BackcastQuery >= c.PollcastQuery {
+		t.Fatal("HACK-based backcast query should be shorter than a vote frame")
+	}
+	if c.CSMASlot >= c.SequentialSlot {
+		t.Fatal("a backoff slot must be shorter than a reply slot")
+	}
+	if c.PollcastQuery <= 0 || c.SequentialSlot <= 0 || c.RoundBind <= 0 {
+		t.Fatal("non-positive costs")
+	}
+}
+
+func TestDefaultCostsScaleWithN(t *testing.T) {
+	// Bigger populations need bigger group maps in the round bind.
+	small := DefaultCosts(16)
+	large := DefaultCosts(1024)
+	if large.RoundBind <= small.RoundBind {
+		t.Fatal("bind cost did not grow with n")
+	}
+	// Per-query polls stay constant-size.
+	if large.BackcastQuery != small.BackcastQuery {
+		t.Fatal("per-query poll should not depend on n")
+	}
+	if DefaultCosts(0).RoundBind <= 0 {
+		t.Fatal("n=0 not clamped")
+	}
+}
+
+func TestTcastLatencyLinear(t *testing.T) {
+	c := DefaultCosts(128)
+	if c.TcastLatency(10, 2) != 2*c.RoundBind+10*c.BackcastQuery {
+		t.Fatal("TcastLatency not linear in queries and rounds")
+	}
+	if c.TcastLatency(0, 0) != 0 {
+		t.Fatal("zero session not free")
+	}
+}
+
+func TestCSMALatency(t *testing.T) {
+	c := DefaultCosts(128)
+	// 10 slots, 4 deliveries: 6 idle backoffs + 4 reply frames.
+	want := 6*c.CSMASlot + 4*(FrameAirtime(2)+Turnaround)
+	if got := c.CSMALatency(10, 4); got != want {
+		t.Fatalf("CSMALatency = %v, want %v", got, want)
+	}
+	// Delivered > slots clamps instead of going negative.
+	if c.CSMALatency(2, 5) < 0 {
+		t.Fatal("negative latency")
+	}
+}
+
+func TestSequentialLatencyIncludesSchedule(t *testing.T) {
+	c := DefaultCosts(128)
+	if c.SequentialLatency(100) <= 100*c.SequentialSlot {
+		t.Fatal("schedule broadcast not charged")
+	}
+}
+
+// TestEndToEndComparison sanity-checks the headline claims in wall-clock
+// time, in the regimes where the paper makes them (Fig 1 counts, N=128,
+// t=16). For x << t, tcast beats sequential ordering (whose cost starts
+// near n−x); for x >> t, tcast beats CSMA (whose cost grows with x).
+func TestEndToEndComparison(t *testing.T) {
+	c := DefaultCosts(128)
+
+	// x = 2 (measured: 2tBins 30.8 queries / 1 round; sequential 114.8
+	// slots; CSMA 6.0 slots with 2 deliveries).
+	tcastSmall := c.TcastLatency(31, 1)
+	seqSmall := c.SequentialLatency(115)
+	if tcastSmall >= seqSmall {
+		t.Fatalf("x<<t: tcast %v not faster than sequential %v", tcastSmall, seqSmall)
+	}
+	// CSMA legitimately wins at x << t — the paper says so.
+	if csmaSmall := c.CSMALatency(6, 2); csmaSmall >= tcastSmall {
+		t.Fatalf("x<<t: CSMA %v should beat tcast %v here", csmaSmall, tcastSmall)
+	}
+
+	// x = 96 (measured: 2tBins 16.1 queries / 1 round; CSMA 146.9 slots
+	// with 16 deliveries).
+	tcastLarge := c.TcastLatency(17, 1)
+	csmaLarge := c.CSMALatency(147, 16)
+	if tcastLarge >= csmaLarge {
+		t.Fatalf("x>>t: tcast %v not faster than CSMA %v", tcastLarge, csmaLarge)
+	}
+}

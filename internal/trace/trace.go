@@ -1,0 +1,177 @@
+// Package trace instruments threshold-query sessions: a Recorder wraps
+// any query.Querier, logs every group poll and its response, and can
+// render the session as a human-readable timeline or replay it against a
+// decision procedure. Because it is middleware over the Querier interface,
+// it works identically on the abstract channel, the packet radio and the
+// mote testbed.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tcast/internal/query"
+)
+
+// Event is one recorded group poll.
+type Event struct {
+	// Index is the poll's 0-based position in the session.
+	Index int
+	// Bin is the polled group (copied; safe to retain).
+	Bin []int
+	// Response is what the initiator observed.
+	Response query.Response
+}
+
+// Recorder wraps a Querier and records every poll. It implements
+// query.Querier. Not safe for concurrent use.
+type Recorder struct {
+	q      query.Querier
+	events []Event
+}
+
+// NewRecorder wraps q.
+func NewRecorder(q query.Querier) *Recorder { return &Recorder{q: q} }
+
+// Query implements query.Querier.
+func (r *Recorder) Query(bin []int) query.Response {
+	resp := r.q.Query(bin)
+	r.events = append(r.events, Event{
+		Index:    len(r.events),
+		Bin:      append([]int(nil), bin...),
+		Response: resp,
+	})
+	return resp
+}
+
+// Traits implements query.Querier.
+func (r *Recorder) Traits() query.Traits { return r.q.Traits() }
+
+// Events returns the recorded polls in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded polls.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset clears the recording, keeping the wrapped querier.
+func (r *Recorder) Reset() { r.events = nil }
+
+// Summary aggregates a recording.
+type Summary struct {
+	Polls      int
+	Empty      int
+	Active     int
+	Decoded    int
+	Collisions int
+	// NodesPolled is the total of bin sizes — the number of node-poll
+	// pairs, a proxy for listener energy.
+	NodesPolled int
+}
+
+// Summarize computes aggregate counts for the recording.
+func (r *Recorder) Summarize() Summary {
+	var s Summary
+	s.Polls = len(r.events)
+	for _, e := range r.events {
+		s.NodesPolled += len(e.Bin)
+		switch e.Response.Kind {
+		case query.Empty:
+			s.Empty++
+		case query.Active:
+			s.Active++
+		case query.Decoded:
+			s.Decoded++
+		case query.Collision:
+			s.Collisions++
+		}
+	}
+	return s
+}
+
+// Render formats the session as one line per poll:
+//
+//	#3  |bin|=8  {1, 5, ...}  -> active
+func (r *Recorder) Render() string {
+	var b strings.Builder
+	for _, e := range r.events {
+		fmt.Fprintf(&b, "#%-3d |bin|=%-3d %s -> %s", e.Index, len(e.Bin), renderBin(e.Bin), e.Response.Kind)
+		if e.Response.Kind == query.Decoded {
+			fmt.Fprintf(&b, " (node %d)", e.Response.DecodedID)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderBin(bin []int) string {
+	const maxShown = 8
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range bin {
+		if i == maxShown {
+			fmt.Fprintf(&b, ", …+%d", len(bin)-maxShown)
+			break
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Replayer replays a recorded session as a query.Querier: poll i must ask
+// exactly the bin recorded at position i, and receives the recorded
+// response. It verifies determinism claims — re-running an algorithm with
+// the same RNG stream against the replay must reproduce the session.
+type Replayer struct {
+	events []Event
+	pos    int
+	traits query.Traits
+	err    error
+}
+
+// NewReplayer builds a Replayer over a recording with the given traits.
+func NewReplayer(events []Event, traits query.Traits) *Replayer {
+	return &Replayer{events: events, traits: traits}
+}
+
+// Query implements query.Querier.
+func (p *Replayer) Query(bin []int) query.Response {
+	if p.err != nil {
+		return query.Response{Kind: query.Empty}
+	}
+	if p.pos >= len(p.events) {
+		p.err = fmt.Errorf("trace: replay exhausted after %d polls", len(p.events))
+		return query.Response{Kind: query.Empty}
+	}
+	want := p.events[p.pos]
+	if !sameBin(bin, want.Bin) {
+		p.err = fmt.Errorf("trace: replay diverged at poll %d: got bin %v, recorded %v", p.pos, bin, want.Bin)
+		return query.Response{Kind: query.Empty}
+	}
+	p.pos++
+	return want.Response
+}
+
+// Traits implements query.Querier.
+func (p *Replayer) Traits() query.Traits { return p.traits }
+
+// Err reports whether the replay diverged from the recording.
+func (p *Replayer) Err() error { return p.err }
+
+// Done reports whether every recorded poll was replayed.
+func (p *Replayer) Done() bool { return p.pos == len(p.events) }
+
+func sameBin(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

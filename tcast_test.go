@@ -1,0 +1,288 @@
+package tcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNetworkQueryCorrectness(t *testing.T) {
+	positives := []int{3, 17, 42, 99}
+	nw, err := NewNetwork(128, positives, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 128 || nw.Positives() != 4 {
+		t.Fatalf("network shape wrong: n=%d x=%d", nw.N(), nw.Positives())
+	}
+	for _, alg := range []Algorithm{TwoTBins(), ExpIncrease(), ABNS(1), ABNS(2), ProbABNS()} {
+		for _, th := range []int{1, 4, 5, 64} {
+			res, err := nw.Query(th, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Decision != (4 >= th) {
+				t.Fatalf("%s t=%d: decision %v", alg.Name(), th, res.Decision)
+			}
+		}
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewNetwork(4, []int{4}); err == nil {
+		t.Error("out-of-range positive accepted")
+	}
+	if _, err := NewNetwork(4, nil, WithCaptureBeta(2)); err == nil {
+		t.Error("beta=2 accepted")
+	}
+	if _, err := NewNetwork(4, nil, WithMissProb(1)); err == nil {
+		t.Error("miss=1 accepted")
+	}
+}
+
+func TestNetworkDeterministicWithSeed(t *testing.T) {
+	build := func() *Network {
+		nw, err := NewNetwork(64, []int{1, 2, 3}, WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+	a, b := build(), build()
+	for i := 0; i < 5; i++ {
+		ra, err := a.Query(3, TwoTBins())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Query(3, TwoTBins())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra != rb {
+			t.Fatalf("session %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestTwoPlusOption(t *testing.T) {
+	nw, err := NewNetwork(64, []int{5}, WithSeed(2), WithTwoPlus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Query(1, TwoTBins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decision {
+		t.Fatal("2+ query wrong")
+	}
+}
+
+func TestQueryOracle(t *testing.T) {
+	nw, err := NewNetwork(128, nil, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.QueryOracle(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision || res.Queries != 1 {
+		t.Fatalf("oracle on empty network: %+v", res)
+	}
+}
+
+func TestMissProbCanFlipDecision(t *testing.T) {
+	// Sanity: lossy radio still runs to completion; decisions may be
+	// wrong but never error.
+	nw, err := NewNetwork(32, []int{1, 2, 3, 4}, WithSeed(4), WithMissProb(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := nw.Query(4, TwoTBins()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDetector(t *testing.T) {
+	// Clearly separated bimodal deployment: quiet ~8, active ~96.
+	det, err := NewDetector(128, 8, 2, 96, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Repeats() < 1 {
+		t.Fatal("no repeats")
+	}
+	quietNet, _ := NewNetwork(128, []int{5, 9, 77, 30, 41, 2, 118, 64}, WithSeed(5))
+	correctQuiet := 0
+	for i := 0; i < 50; i++ {
+		activity, q := det.Detect(quietNet)
+		if q != det.Repeats() {
+			t.Fatalf("query count %d != repeats %d", q, det.Repeats())
+		}
+		if !activity {
+			correctQuiet++
+		}
+	}
+	if correctQuiet < 45 {
+		t.Fatalf("quiet network misdetected %d/50 times", 50-correctQuiet)
+	}
+
+	var many []int
+	for i := 0; i < 96; i++ {
+		many = append(many, i)
+	}
+	activeNet, _ := NewNetwork(128, many, WithSeed(6))
+	correctActive := 0
+	for i := 0; i < 50; i++ {
+		if activity, _ := det.Detect(activeNet); activity {
+			correctActive++
+		}
+	}
+	if correctActive < 45 {
+		t.Fatalf("active network misdetected %d/50 times", 50-correctActive)
+	}
+}
+
+func TestDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(128, 60, 10, 70, 10, 0.05); err == nil {
+		t.Error("overlapping modes accepted")
+	}
+	if _, err := NewDetector(128, 8, 2, 96, 4, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+}
+
+func TestQueryAtMostBetweenMonotone(t *testing.T) {
+	nw, err := NewNetwork(64, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := nw.QueryAtMost(10, nil); err != nil || !res.Decision {
+		t.Fatalf("AtMost(10) = %+v, %v", res, err)
+	}
+	if res, err := nw.QueryAtMost(9, nil); err != nil || res.Decision {
+		t.Fatalf("AtMost(9) = %+v, %v", res, err)
+	}
+	if res, err := nw.QueryBetween(8, 12, nil); err != nil || !res.Decision {
+		t.Fatalf("Between(8,12) = %+v, %v", res, err)
+	}
+	if res, err := nw.QueryBetween(11, 20, nil); err != nil || res.Decision {
+		t.Fatalf("Between(11,20) = %+v, %v", res, err)
+	}
+	res, err := nw.QueryMonotone(func(c int) bool { return c*3 >= 24 }, nil)
+	if err != nil || !res.Decision {
+		t.Fatalf("Monotone(3c>=24 with x=10) = %+v, %v", res, err)
+	}
+}
+
+func TestIdentify(t *testing.T) {
+	want := []int{3, 17, 42, 99}
+	nw, err := NewNetwork(128, want, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, queries, err := nw.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Identify = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Identify = %v, want %v", got, want)
+		}
+	}
+	if queries <= 0 || queries >= 128 {
+		t.Fatalf("queries = %d, expected sub-linear positive cost", queries)
+	}
+}
+
+func TestEstimateCount(t *testing.T) {
+	positives := make([]int, 32)
+	for i := range positives {
+		positives[i] = i * 4
+	}
+	nw, err := NewNetwork(128, positives, WithSeed(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, queries := nw.EstimateCount(0)
+	if est < 8 || est > 128 {
+		t.Fatalf("estimate = %v for x=32, wildly off", est)
+	}
+	if queries <= 0 {
+		t.Fatal("no queries spent")
+	}
+}
+
+func TestSymmetricBimodalReexport(t *testing.T) {
+	bi := SymmetricBimodal(128, 16, 0)
+	tl, tr := bi.Boundaries()
+	if !(tl < tr) {
+		t.Fatalf("boundaries wrong: %v %v", tl, tr)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	nw, err := NewNetwork(64, []int{1, 5, 9, 13, 17}, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := nw.Query(5, ProbABNS())
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !res.Decision {
+					errs[g] = fmt.Errorf("wrong decision")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQuickPublicAPICorrect(t *testing.T) {
+	f := func(seed uint64, nRaw, tRaw, xRaw uint8) bool {
+		n := int(nRaw%48) + 1
+		th := int(tRaw) % (n + 2)
+		x := int(xRaw) % (n + 1)
+		positives := make([]int, x)
+		for i := range positives {
+			positives[i] = i
+		}
+		nw, err := NewNetwork(n, positives, WithSeed(seed))
+		if err != nil {
+			return false
+		}
+		res, err := nw.Query(th, ProbABNS())
+		if err != nil {
+			return false
+		}
+		return res.Decision == (x >= th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
