@@ -9,6 +9,13 @@
 //
 // Experiment IDs match DESIGN.md's per-experiment index (fig1..fig11,
 // tab-err, abl-capture, abl-variants).
+//
+// Observability:
+//
+//	tcastfigs -fig fig1 -metrics -            # dump metrics to stdout after the run
+//	tcastfigs -fig all -metrics m.prom        # Prometheus text format (by extension)
+//	tcastfigs -fig all -metrics-addr :9090    # scrapeable /metrics endpoint during the run
+//	tcastfigs -fig all -pprof profiles/       # CPU + heap profiles of the run
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"time"
 
 	"tcast/internal/experiment"
+	"tcast/internal/metrics"
 )
 
 func main() {
@@ -33,6 +41,10 @@ func main() {
 		ci      = flag.Bool("ci", false, "include 95% confidence-interval columns in text output")
 		out     = flag.String("out", "", "directory to write per-experiment files into (stdout if empty)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
+
+		metricsOut  = flag.String("metrics", "", "dump run metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
+		metricsAddr = flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address during the run")
+		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
 	)
 	flag.Parse()
 
@@ -41,6 +53,25 @@ func main() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	var reg *metrics.Registry
+	if *metricsOut != "" || *metricsAddr != "" {
+		reg = metrics.New()
+	}
+	if *metricsAddr != "" {
+		metrics.Serve(*metricsAddr, reg)
+	}
+	if *pprofDir != "" {
+		stop, err := metrics.StartProfiles(*pprofDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "tcastfigs: pprof:", err)
+			}
+		}()
 	}
 
 	var exps []experiment.Experiment
@@ -56,7 +87,7 @@ func main() {
 		}
 	}
 
-	opts := experiment.Options{Runs: *runs, Seed: *seed}
+	opts := experiment.Options{Runs: *runs, Seed: *seed, Metrics: reg}
 	for _, e := range exps {
 		start := time.Now()
 		tab, err := e.Run(opts)
@@ -100,6 +131,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(header, "wrote ", path, "\n")
+	}
+	if *metricsOut != "" {
+		if err := metrics.DumpToPath(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"tcast/internal/metrics"
 	"tcast/internal/motelab"
 )
 
@@ -26,10 +27,29 @@ func main() {
 		badMote      = flag.Int("badmote", -1, "mote ID with a degraded link (-1: none)")
 		badMiss      = flag.Float64("badmiss", 0.5, "the degraded mote's loss probability")
 		seed         = flag.Uint64("seed", 2011, "random seed")
+
+		metricsOut = flag.String("metrics", "", "dump campaign metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
+		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the campaign into this directory")
 	)
 	flag.Parse()
 
-	cfg := motelab.Config{Participants: *participants, MissProb: *miss, Seed: *seed}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+	}
+	if *pprofDir != "" {
+		stop, err := metrics.StartProfiles(*pprofDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "tcastlab: pprof:", err)
+			}
+		}()
+	}
+
+	cfg := motelab.Config{Participants: *participants, MissProb: *miss, Seed: *seed, Metrics: reg}
 	if *badMote >= 0 {
 		if *badMote >= *participants {
 			fatal(fmt.Errorf("badmote %d outside 0..%d", *badMote, *participants-1))
@@ -76,6 +96,23 @@ func main() {
 				}
 				fmt.Printf("  mote %2d: %4d%s\n", id, agg.MissedByMote[id], marker)
 			}
+		}
+	}
+
+	if *metricsOut != "" {
+		// Fold the campaign's graded aggregates in next to the per-poll
+		// instruments the lab recorded during the runs.
+		reg.Counter("motelab_trials_total").Add(int64(agg.Trials))
+		reg.Counter("motelab_false_positives_total").Add(int64(agg.FalsePositives))
+		reg.Counter("motelab_false_negatives_total").Add(int64(agg.FalseNegatives))
+		for k, q := range agg.QueriesBySuperposition {
+			reg.Counter("motelab_superposed_queries_total", "k", fmt.Sprint(k)).Add(int64(q))
+		}
+		for k, missed := range agg.MissedBySuperposition {
+			reg.Counter("motelab_superposed_missed_total", "k", fmt.Sprint(k)).Add(int64(missed))
+		}
+		if err := metrics.DumpToPath(reg, *metricsOut); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"net"
 	"os"
 
+	"tcast/internal/metrics"
 	"tcast/internal/mote"
 	"tcast/internal/radio"
 	"tcast/internal/rng"
@@ -36,8 +37,23 @@ func main() {
 		x            = flag.Int("x", 6, "positives to configure; serve mode honors them via -autoconfig")
 		runs         = flag.Int("runs", 20, "queries to run (controller mode)")
 		seed         = flag.Uint64("seed", 2011, "random seed")
+
+		metricsOut = flag.String("metrics", "", "controller mode: dump session metrics to this file at exit ('-' = stdout, .prom = Prometheus format)")
+		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
 	)
 	flag.Parse()
+
+	if *pprofDir != "" {
+		stop, err := metrics.StartProfiles(*pprofDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "tcastmote: pprof:", err)
+			}
+		}()
+	}
 
 	switch {
 	case *serve != "" && *connect == "":
@@ -45,7 +61,7 @@ func main() {
 			fatal(err)
 		}
 	case *connect != "" && *serve == "":
-		if err := runController(*connect, *threshold, *runs); err != nil {
+		if err := runController(*connect, *threshold, *runs, *metricsOut); err != nil {
 			fatal(err)
 		}
 	default:
@@ -99,8 +115,11 @@ func runServer(addr string, participants int, miss float64, x int, seed uint64) 
 }
 
 // runController drives the remote initiator: configure, query repeatedly,
-// summarize.
-func runController(addr string, threshold, runs int) error {
+// summarize. With metricsOut set it additionally records per-run
+// query/round totals into a registry and dumps it at the end — the
+// controller cannot see individual polls over the wire protocol, only the
+// session totals the initiator reports.
+func runController(addr string, threshold, runs int, metricsOut string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -108,6 +127,10 @@ func runController(addr string, threshold, runs int) error {
 	defer conn.Close()
 	c := serial.NewClient(conn)
 
+	var reg *metrics.Registry
+	if metricsOut != "" {
+		reg = metrics.New()
+	}
 	if err := c.ConfigureInitiator(threshold); err != nil {
 		return err
 	}
@@ -121,10 +144,19 @@ func runController(addr string, threshold, runs int) error {
 		if decision {
 			trueCount++
 		}
+		if reg != nil {
+			reg.Counter(metrics.MetricSessions).Inc()
+			reg.Counter("tcast_decisions_total", "decision", fmt.Sprint(decision)).Inc()
+			reg.Histogram(metrics.MetricSessionPolls, metrics.SessionBuckets).Observe(float64(queries))
+			reg.Histogram("tcast_session_rounds", metrics.SessionBuckets).Observe(float64(rounds))
+		}
 		fmt.Printf("run %2d: decision=%-5v queries=%-3d rounds=%d\n", i+1, decision, queries, rounds)
 	}
 	fmt.Printf("\n%d/%d runs answered true (t=%d); %.1f queries per run\n",
 		trueCount, runs, threshold, float64(totalQueries)/float64(runs))
+	if metricsOut != "" {
+		return metrics.DumpToPath(reg, metricsOut)
+	}
 	return nil
 }
 

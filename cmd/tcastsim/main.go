@@ -20,6 +20,7 @@ import (
 	"tcast/internal/core"
 	"tcast/internal/experiment"
 	"tcast/internal/fastsim"
+	"tcast/internal/metrics"
 	"tcast/internal/rng"
 	"tcast/internal/stats"
 	"tcast/internal/trace"
@@ -36,10 +37,29 @@ func main() {
 		seed  = flag.Uint64("seed", 2011, "root random seed")
 		miss  = flag.Float64("miss", 0, "per-reply miss probability (radio irregularity)")
 		dump  = flag.Bool("trace", false, "print a poll-by-poll trace of one session before the sweep")
+
+		metricsOut = flag.String("metrics", "", "dump per-poll metrics to this file after the sweep ('-' = stdout, .prom = Prometheus format)")
+		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the sweep into this directory")
 	)
 	flag.Parse()
 	if *x < 0 || *x > *n {
 		fatal(fmt.Errorf("x=%d outside [0,%d]", *x, *n))
+	}
+
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+	}
+	if *pprofDir != "" {
+		stop, err := metrics.StartProfiles(*pprofDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "tcastsim: pprof:", err)
+			}
+		}()
 	}
 
 	cfg := fastsim.DefaultConfig()
@@ -50,7 +70,7 @@ func main() {
 	}
 	cfg.MissProb = *miss
 
-	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg)
+	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, reg)
 	if err != nil {
 		fatal(err)
 	}
@@ -73,10 +93,17 @@ func main() {
 		acc.Mean(), acc.CI95(), acc.Min(), acc.Max())
 	fmt.Printf("quantiles: p50=%.0f p90=%.0f p99=%.0f\n",
 		stats.Quantile(values, 0.5), stats.Quantile(values, 0.9), stats.Quantile(values, 0.99))
+	if *metricsOut != "" {
+		if err := metrics.DumpToPath(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // buildTrial returns a per-trial cost function for the selected scheme.
-func buildTrial(alg string, n, t, x int, cfg fastsim.Config) (func(r *rng.Source) (float64, error), string, error) {
+// A non-nil registry instruments every group poll of the tcast schemes;
+// the CSMA/sequential baselines have no group polls to instrument.
+func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Registry) (func(r *rng.Source) (float64, error), string, error) {
 	baselineTrial := func(run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(r *rng.Source) (float64, error) {
 		return func(r *rng.Source) (float64, error) {
 			pos := bitset.New(n)
@@ -115,10 +142,12 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config) (func(r *rng.Source
 	}
 	return func(r *rng.Source) (float64, error) {
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
-		res, err := fac(ch).Run(ch, n, t, r.Split(2))
+		q := metrics.Wrap(ch, reg)
+		res, err := fac(ch).Run(q, n, t, r.Split(2))
 		if err != nil {
 			return 0, err
 		}
+		metrics.FinishSession(q)
 		return float64(res.Queries), nil
 	}, name, nil
 }

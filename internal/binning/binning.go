@@ -9,11 +9,15 @@ import (
 	"tcast/internal/rng"
 )
 
-// RandomPartition splits members into b bins of nearly equal size
-// (differing by at most one node), assigning nodes to bins uniformly at
-// random. When b > len(members), the trailing bins are empty of nodes;
-// following Section IV-C they are placed last so early termination never
-// pays for them. It panics if b <= 0.
+// RandomPartition splits members into b bins of nearly equal size by
+// shuffling the members uniformly and chunking the shuffled order into b
+// consecutive bins. Bin sizes are therefore exact — they differ by at most
+// one node — not binomially distributed as independent uniform assignment
+// would make them; only the *membership* of each bin is random. This is
+// the balls-into-bins scheme the paper's cost analysis assumes (every
+// round polls bins of size ~n/b). When b > len(members), the trailing bins
+// are empty of nodes; following Section IV-C they are placed last so early
+// termination never pays for them. It panics if b <= 0.
 func RandomPartition(members []int, b int, r *rng.Source) [][]int {
 	if b <= 0 {
 		panic("binning: bin count must be positive")

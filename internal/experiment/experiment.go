@@ -10,9 +10,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tcast/internal/core"
 	"tcast/internal/fastsim"
+	"tcast/internal/metrics"
 	"tcast/internal/rng"
 	"tcast/internal/stats"
 )
@@ -28,6 +31,12 @@ type Options struct {
 	Seed uint64
 	// Workers bounds trial parallelism; zero means GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives the run's observability data:
+	// per-poll instruments from the instrumented querier and per-point
+	// trial throughput and wall-clock timings from the sweep driver.
+	// Instrumentation never touches the trial RNG streams, so results
+	// are bit-identical with and without it.
+	Metrics *metrics.Registry
 }
 
 func (o Options) runs(def int) int {
@@ -48,6 +57,14 @@ func (o Options) workers() int {
 // fanned out over the worker pool, returning the per-trial values in
 // trial-index order. Trial i always receives the stream root.Split(i), so
 // the output is bit-identical regardless of worker count.
+//
+// On failure RunTrials returns (nil, err): any partially computed values
+// are discarded, never exposed. The first recorded failure cancels the
+// remaining work — every worker stops before starting a trial whose index
+// exceeds the lowest failing index seen so far — and the error returned is
+// deterministically the one from the lowest-indexed failing trial. (All
+// trials below the lowest failure still run, so the winner cannot depend
+// on goroutine scheduling.)
 func RunTrials(runs, workers int, root *rng.Source, trial func(r *rng.Source) (float64, error)) ([]float64, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("experiment: runs must be positive, got %d", runs)
@@ -59,16 +76,32 @@ func RunTrials(runs, workers int, root *rng.Source, trial func(r *rng.Source) (f
 		workers = runs
 	}
 	values := make([]float64, runs)
-	errs := make([]error, workers)
+	var (
+		failIdx atomic.Int64 // lowest failing trial index so far
+		mu      sync.Mutex   // guards failErr together with failIdx writes
+		failErr error
+	)
+	failIdx.Store(int64(runs))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < runs; i += workers {
+				// A worker's indices only grow, so once one passes the
+				// lowest failure it can stop: no later trial of this
+				// worker can produce a lower-indexed error.
+				if int64(i) > failIdx.Load() {
+					return
+				}
 				v, err := trial(root.Split(uint64(i)))
 				if err != nil {
-					errs[w] = err
+					mu.Lock()
+					if int64(i) < failIdx.Load() {
+						failIdx.Store(int64(i))
+						failErr = err
+					}
+					mu.Unlock()
 					return
 				}
 				values[i] = v
@@ -76,10 +109,8 @@ func RunTrials(runs, workers int, root *rng.Source, trial func(r *rng.Source) (f
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if failErr != nil {
+		return nil, failErr
 	}
 	return values, nil
 }
@@ -101,13 +132,27 @@ func MeanParallel(runs, workers int, root *rng.Source, trial func(r *rng.Source)
 // pointCost is the per-trial measurement for one sweep point.
 type pointCost func(r *rng.Source) (float64, error)
 
-// sweep builds one series by evaluating cost at every x.
-func sweep(name string, xs []int, runs, workers int, root *rng.Source, cost func(x int) pointCost) (*stats.Series, error) {
+// sweep builds one series by evaluating cost at every x. When o.Metrics is
+// set, each point additionally reports its wall-clock duration and trial
+// throughput — the timings are observability only and never feed back into
+// the table.
+func sweep(name string, xs []int, o Options, root *rng.Source, cost func(x int) pointCost) (*stats.Series, error) {
+	runs, workers := o.runs(defaultRuns), o.workers()
 	s := &stats.Series{Name: name}
 	for _, x := range xs {
+		start := time.Now()
 		acc, err := MeanParallel(runs, workers, root.Split(uint64(x)), cost(x))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: series %s at x=%d: %w", name, x, err)
+		}
+		if m := o.Metrics; m != nil {
+			elapsed := time.Since(start)
+			m.Counter("experiment_points_total").Inc()
+			m.Counter("experiment_trials_total").Add(int64(acc.N()))
+			m.Histogram("experiment_point_seconds", metrics.TimeBuckets).Observe(elapsed.Seconds())
+			if secs := elapsed.Seconds(); secs > 0 {
+				m.Gauge("experiment_trials_per_second").Set(float64(acc.N()) / secs)
+			}
 		}
 		s.Append(stats.Point{X: float64(x), Y: acc.Mean(), Err: acc.CI95(), N: acc.N()})
 	}
@@ -123,14 +168,18 @@ func plainAlg(a core.Algorithm) algChannelFactory {
 }
 
 // tcastCost measures one tcast session's query count on a fresh channel
-// with exactly x positives.
-func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config) pointCost {
+// with exactly x positives. A non-nil registry interposes the instrumented
+// querier, recording every group poll; the wrapper consumes no randomness,
+// so the measured values are identical either way.
+func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, m *metrics.Registry) pointCost {
 	return func(r *rng.Source) (float64, error) {
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
-		res, err := fac(ch).Run(ch, n, t, r.Split(2))
+		q := metrics.Wrap(ch, m)
+		res, err := fac(ch).Run(q, n, t, r.Split(2))
 		if err != nil {
 			return 0, err
 		}
+		metrics.FinishSession(q)
 		if res.Decision != (x >= t) {
 			return 0, fmt.Errorf("wrong decision for n=%d t=%d x=%d", n, t, x)
 		}

@@ -229,7 +229,7 @@ func TestExperimentDeterminism(t *testing.T) {
 
 func TestSweepProducesCIs(t *testing.T) {
 	root := rng.New(3)
-	s, err := sweep("s", []int{1, 2}, 50, 4, root, func(x int) pointCost {
+	s, err := sweep("s", []int{1, 2}, Options{Runs: 50, Workers: 4}, root, func(x int) pointCost {
 		return func(r *rng.Source) (float64, error) { return float64(x) + r.Float64(), nil }
 	})
 	if err != nil {

@@ -30,7 +30,6 @@ func init() {
 		Title: "Extension: reply transmissions per scheme (N=128, t=16) — the energy cost",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			xs := xSweep(defaultN, defaultT)
 			tab := &stats.Table{
 				Title:  "positive-node transmissions until the threshold decision",
@@ -50,7 +49,7 @@ func init() {
 				}
 			}
 			for i, alg := range []core.Algorithm{core.TwoTBins{}, core.ProbABNS{}} {
-				s, err := sweep(alg.Name(), xs, runs, workers, root.Split(uint64(i)), algReplies(alg))
+				s, err := sweep(alg.Name(), xs, o, root.Split(uint64(i)), algReplies(alg))
 				if err != nil {
 					return nil, err
 				}
@@ -59,7 +58,7 @@ func init() {
 			// CSMA: one frame per delivery plus one per collision
 			// participant; the simulator counts collision slots, and at
 			// least two stations transmit in each.
-			csma, err := sweep("CSMA", xs, runs, workers, root.Split(10), func(x int) pointCost {
+			csma, err := sweep("CSMA", xs, o, root.Split(10), func(x int) pointCost {
 				return func(r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
@@ -75,7 +74,7 @@ func init() {
 			tab.Add(csma)
 			// Sequential: exactly the positives scheduled before the
 			// decision transmit.
-			seq, err := sweep("Sequential", xs, runs, workers, root.Split(11), func(x int) pointCost {
+			seq, err := sweep("Sequential", xs, o, root.Split(11), func(x int) pointCost {
 				return func(r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
@@ -98,7 +97,6 @@ func init() {
 		Title: "Extension: Fig 1 in wall-clock milliseconds (802.15.4 timing model)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			xs := xSweep(defaultN, defaultT)
 			costs := timing.DefaultCosts(defaultN)
 			tab := &stats.Table{
@@ -118,13 +116,13 @@ func init() {
 				}
 			}
 			for i, alg := range []core.Algorithm{core.TwoTBins{}, core.ProbABNS{}} {
-				s, err := sweep(alg.Name(), xs, runs, workers, root.Split(uint64(i)), tcastMS(alg))
+				s, err := sweep(alg.Name(), xs, o, root.Split(uint64(i)), tcastMS(alg))
 				if err != nil {
 					return nil, err
 				}
 				tab.Add(s)
 			}
-			csma, err := sweep("CSMA", xs, runs, workers, root.Split(10), func(x int) pointCost {
+			csma, err := sweep("CSMA", xs, o, root.Split(10), func(x int) pointCost {
 				return func(r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
@@ -138,7 +136,7 @@ func init() {
 				return nil, err
 			}
 			tab.Add(csma)
-			seq, err := sweep("Sequential", xs, runs, workers, root.Split(11), func(x int) pointCost {
+			seq, err := sweep("Sequential", xs, o, root.Split(11), func(x int) pointCost {
 				return func(r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
@@ -161,7 +159,6 @@ func init() {
 		Title: "Extension: per-participant radio energy (mJ, CC2420 model, N=128, t=16)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			xs := xSweep(defaultN, defaultT)
 			model := energy.CC2420()
 			costs := timing.DefaultCosts(defaultN)
@@ -169,7 +166,7 @@ func init() {
 				Title:  "mean participant energy until the threshold decision",
 				XLabel: "positive nodes x", YLabel: "millijoules per participant",
 			}
-			tcastEnergy, err := sweep("tcast (2tBins/backcast)", xs, runs, workers, root.Split(1), func(x int) pointCost {
+			tcastEnergy, err := sweep("tcast (2tBins/backcast)", xs, o, root.Split(1), func(x int) pointCost {
 				return func(r *rng.Source) (float64, error) {
 					ch, _ := fastsim.RandomPositives(defaultN, x, fastsim.DefaultConfig(), r.Split(1))
 					rec := trace.NewRecorder(ch)
@@ -185,7 +182,7 @@ func init() {
 				return nil, err
 			}
 			tab.Add(tcastEnergy)
-			csmaEnergy, err := sweep("CSMA", xs, runs, workers, root.Split(2), func(x int) pointCost {
+			csmaEnergy, err := sweep("CSMA", xs, o, root.Split(2), func(x int) pointCost {
 				return func(r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					ids := r.Split(1).Sample(defaultN, x)
@@ -201,7 +198,7 @@ func init() {
 				return nil, err
 			}
 			tab.Add(csmaEnergy)
-			seqEnergy, err := sweep("Sequential", xs, runs, workers, root.Split(3), func(x int) pointCost {
+			seqEnergy, err := sweep("Sequential", xs, o, root.Split(3), func(x int) pointCost {
 				return func(r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
@@ -295,7 +292,6 @@ func init() {
 		Title: "Extension: the companion k+ model — query cost vs radio strength k (N=128)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			xs := xSweep(defaultN, defaultT)
 			tab := &stats.Table{
 				Title:  "k+ threshold querying (t=16): stronger radios resolve bins exactly",
@@ -303,7 +299,7 @@ func init() {
 			}
 			for i, k := range []int{1, 2, 4, 8} {
 				k := k
-				s, err := sweep(fmt.Sprintf("k=%d", k), xs, runs, workers, root.Split(uint64(i)), func(x int) pointCost {
+				s, err := sweep(fmt.Sprintf("k=%d", k), xs, o, root.Split(uint64(i)), func(x int) pointCost {
 					return func(r *rng.Source) (float64, error) {
 						ch := kplus.RandomChannel(k, defaultN, x, r.Split(1))
 						res, err := kplus.Threshold(ch, defaultN, defaultT, r.Split(2))
@@ -330,13 +326,12 @@ func init() {
 		Title: "Extension: identification and cardinality estimation cost (N=128)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			xs := xSweep(defaultN, defaultT)
 			tab := &stats.Table{
 				Title:  "polls to identify every positive vs. to estimate their count",
 				XLabel: "positive nodes x", YLabel: "queries",
 			}
-			ident, err := sweep("Identify (exact set)", xs, runs, workers, root.Split(1), func(x int) pointCost {
+			ident, err := sweep("Identify (exact set)", xs, o, root.Split(1), func(x int) pointCost {
 				return func(r *rng.Source) (float64, error) {
 					ch, truth := fastsim.RandomPositives(defaultN, x, fastsim.DefaultConfig(), r.Split(1))
 					got, queries, err := count.Identify(ch, defaultN)
@@ -353,7 +348,7 @@ func init() {
 				return nil, err
 			}
 			tab.Add(ident)
-			est, err := sweep("Estimate (±2x)", xs, runs, workers, root.Split(2), func(x int) pointCost {
+			est, err := sweep("Estimate (±2x)", xs, o, root.Split(2), func(x int) pointCost {
 				return func(r *rng.Source) (float64, error) {
 					ch, _ := fastsim.RandomPositives(defaultN, x, fastsim.DefaultConfig(), r.Split(1))
 					members := make([]int, defaultN)
@@ -368,8 +363,8 @@ func init() {
 				return nil, err
 			}
 			tab.Add(est)
-			thresh, err := sweep("Threshold (2tBins, t=16)", xs, runs, workers, root.Split(3), func(x int) pointCost {
-				return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, fastsim.DefaultConfig())
+			thresh, err := sweep("Threshold (2tBins, t=16)", xs, o, root.Split(3), func(x int) pointCost {
+				return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
 			})
 			if err != nil {
 				return nil, err

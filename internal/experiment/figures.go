@@ -99,7 +99,6 @@ func init() {
 		Title: "Fig 1: performance of tcast in the 1+ scenario (N=128, t=16)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			xs := xSweep(defaultN, defaultT)
 			tab := &stats.Table{
 				Title:  "tcast vs traditional schemes, 1+ model",
@@ -110,16 +109,16 @@ func init() {
 				cost func(x int) pointCost
 			}{
 				{"2tBins", func(x int) pointCost {
-					return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, fastsim.DefaultConfig())
+					return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
 				}},
 				{"ExpIncrease", func(x int) pointCost {
-					return tcastCost(plainAlg(core.ExpIncrease{}), defaultN, defaultT, x, fastsim.DefaultConfig())
+					return tcastCost(plainAlg(core.ExpIncrease{}), defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
 				}},
 				{"CSMA", func(x int) pointCost { return csmaCost(defaultN, defaultT, x) }},
 				{"Sequential", func(x int) pointCost { return sequentialCost(defaultN, defaultT, x) }},
 			}
 			for i, c := range curves {
-				s, err := sweep(c.name, xs, runs, workers, root.Split(uint64(i)), c.cost)
+				s, err := sweep(c.name, xs, o, root.Split(uint64(i)), c.cost)
 				if err != nil {
 					return nil, err
 				}
@@ -134,7 +133,6 @@ func init() {
 		Title: "Fig 2: performance of tcast in the 2+ scenario vs 1+ (N=128, t=16)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			xs := xSweep(defaultN, defaultT)
 			tab := &stats.Table{
 				Title:  "1+ vs 2+ collision models",
@@ -152,8 +150,8 @@ func init() {
 			}
 			for i, c := range curves {
 				c := c
-				s, err := sweep(c.name, xs, runs, workers, root.Split(uint64(i)), func(x int) pointCost {
-					return tcastCost(plainAlg(c.alg), defaultN, defaultT, x, c.cfg)
+				s, err := sweep(c.name, xs, o, root.Split(uint64(i)), func(x int) pointCost {
+					return tcastCost(plainAlg(c.alg), defaultN, defaultT, x, c.cfg, o.Metrics)
 				})
 				if err != nil {
 					return nil, err
@@ -169,7 +167,6 @@ func init() {
 		Title: "Fig 3: performance of tcast as the threshold changes (x=4, N=128)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			const x = 4
 			ts := []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64, 96, 112, 120, 124, 127}
 			tab := &stats.Table{
@@ -188,8 +185,8 @@ func init() {
 			}
 			for i, c := range curves {
 				c := c
-				s, err := sweep(c.name, ts, runs, workers, root.Split(uint64(i)), func(t int) pointCost {
-					return tcastCost(plainAlg(c.alg), defaultN, t, x, c.cfg)
+				s, err := sweep(c.name, ts, o, root.Split(uint64(i)), func(t int) pointCost {
+					return tcastCost(plainAlg(c.alg), defaultN, t, x, c.cfg, o.Metrics)
 				})
 				if err != nil {
 					return nil, err
@@ -283,21 +280,20 @@ func init() {
 		Title: "Fig 7: probabilistic ABNS vs CSMA (N=32, t=8)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			const n, t = 32, 8
 			xs := xSweep(n, t)
 			tab := &stats.Table{
 				Title:  "ProbABNS vs CSMA, N=32, t=8",
 				XLabel: "positive nodes x", YLabel: "queries / slots",
 			}
-			prob, err := sweep("ProbABNS", xs, runs, workers, root.Split(1), func(x int) pointCost {
-				return tcastCost(plainAlg(core.ProbABNS{}), n, t, x, fastsim.DefaultConfig())
+			prob, err := sweep("ProbABNS", xs, o, root.Split(1), func(x int) pointCost {
+				return tcastCost(plainAlg(core.ProbABNS{}), n, t, x, fastsim.DefaultConfig(), o.Metrics)
 			})
 			if err != nil {
 				return nil, err
 			}
 			tab.Add(prob)
-			csma, err := sweep("CSMA", xs, runs, workers, root.Split(2), func(x int) pointCost {
+			csma, err := sweep("CSMA", xs, o, root.Split(2), func(x int) pointCost {
 				return csmaCost(n, t, x)
 			})
 			if err != nil {
@@ -341,7 +337,6 @@ func init() {
 		Title: "Fig 9: accuracy of the probabilistic model vs repeats (n=128)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			const n = 128
 			tab := &stats.Table{
 				Title:  "probabilistic detector accuracy as the modes separate",
@@ -363,7 +358,7 @@ func init() {
 			}
 			for i, rc := range repeats {
 				rc := rc
-				s, err := sweep(rc.name, ds, runs, workers, root.Split(uint64(i)), func(d int) pointCost {
+				s, err := sweep(rc.name, ds, o, root.Split(uint64(i)), func(d int) pointCost {
 					return detectorAccuracyCost(n, float64(d), rc.r)
 				})
 				if err != nil {
@@ -433,7 +428,6 @@ func init() {
 		Title: "Ablation: capture-effect strength in the 2+ model (N=128, t=16)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			xs := xSweep(defaultN, defaultT)
 			tab := &stats.Table{
 				Title:  "2tBins 2+ query cost under different capture strengths",
@@ -446,21 +440,21 @@ func init() {
 					Capture:              fastsim.GeometricCapture(beta),
 					CaptureEffectPresent: true,
 				}
-				s, err := sweep(fmt.Sprintf("beta=%.2f", beta), xs, runs, workers, root.Split(uint64(i)), func(x int) pointCost {
-					return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, cfg)
+				s, err := sweep(fmt.Sprintf("beta=%.2f", beta), xs, o, root.Split(uint64(i)), func(x int) pointCost {
+					return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, cfg, o.Metrics)
 				})
 				if err != nil {
 					return nil, err
 				}
 				tab.Add(s)
 			}
-			s, err := sweep("1/k capture", xs, runs, workers, root.Split(99), func(x int) pointCost {
+			s, err := sweep("1/k capture", xs, o, root.Split(99), func(x int) pointCost {
 				cfg := fastsim.Config{
 					Model:                fastsim.TwoPlusConfig().Model,
 					Capture:              fastsim.InverseCapture(),
 					CaptureEffectPresent: true,
 				}
-				return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, cfg)
+				return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, cfg, o.Metrics)
 			})
 			if err != nil {
 				return nil, err
@@ -475,7 +469,6 @@ func init() {
 		Title: "Ablation: Exponential Increase growth variants (N=128, t=16)",
 		Run: func(o Options) (*stats.Table, error) {
 			root := rng.New(o.Seed)
-			runs, workers := o.runs(defaultRuns), o.workers()
 			xs := xSweep(defaultN, defaultT)
 			tab := &stats.Table{
 				Title:  "the two variants the paper tried and dropped (Section IV-B)",
@@ -487,8 +480,8 @@ func init() {
 				core.ExpIncrease{Variant: core.ExpFourfold},
 			} {
 				alg := alg
-				s, err := sweep(alg.Name(), xs, runs, workers, root.Split(uint64(i)), func(x int) pointCost {
-					return tcastCost(plainAlg(alg), defaultN, defaultT, x, fastsim.DefaultConfig())
+				s, err := sweep(alg.Name(), xs, o, root.Split(uint64(i)), func(x int) pointCost {
+					return tcastCost(plainAlg(alg), defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
 				})
 				if err != nil {
 					return nil, err
@@ -505,7 +498,6 @@ func init() {
 func abnsFigure(probabilistic bool) func(o Options) (*stats.Table, error) {
 	return func(o Options) (*stats.Table, error) {
 		root := rng.New(o.Seed)
-		runs, workers := o.runs(defaultRuns), o.workers()
 		xs := xSweep(defaultN, defaultT)
 		title := "ABNS vs 2tBins vs Oracle"
 		if probabilistic {
@@ -534,8 +526,8 @@ func abnsFigure(probabilistic bool) func(o Options) (*stats.Table, error) {
 		}
 		for i, c := range curves {
 			c := c
-			s, err := sweep(c.name, xs, runs, workers, root.Split(uint64(i)), func(x int) pointCost {
-				return tcastCost(c.fac, defaultN, defaultT, x, fastsim.DefaultConfig())
+			s, err := sweep(c.name, xs, o, root.Split(uint64(i)), func(x int) pointCost {
+				return tcastCost(c.fac, defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
 			})
 			if err != nil {
 				return nil, err

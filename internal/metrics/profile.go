@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins a CPU profile and returns a stop function that
+// finishes it and additionally writes a heap profile. Profiles land in dir
+// (created if needed) as cpu.pprof and heap.pprof — the -pprof flag of the
+// cmd tools. Inspect with `go tool pprof <binary> <dir>/cpu.pprof`.
+func StartProfiles(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("metrics: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return err
+		}
+		defer heap.Close()
+		runtime.GC() // get up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			return fmt.Errorf("metrics: write heap profile: %w", err)
+		}
+		return heap.Close()
+	}, nil
+}

@@ -13,7 +13,9 @@ import (
 	"fmt"
 
 	"tcast/internal/core"
+	"tcast/internal/metrics"
 	"tcast/internal/mote"
+	"tcast/internal/query"
 	"tcast/internal/radio"
 	"tcast/internal/rng"
 )
@@ -41,6 +43,10 @@ type Config struct {
 	PerMoteMiss []float64
 	// Seed drives all lab randomness.
 	Seed uint64
+	// Metrics, when non-nil, receives every group poll of the campaign
+	// (replayed from the initiator's trace) and per-session totals,
+	// under the same instrument names as the simulation substrates.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's testbed shape.
@@ -205,6 +211,18 @@ func (l *Lab) RunBatch(threshold, x, repeats int) (Stats, error) {
 		outcome, err := l.initiator.Query()
 		if err != nil {
 			return Stats{}, err
+		}
+
+		if m := l.cfg.Metrics; m != nil {
+			iq := metrics.NewInstrumentedQuerier(nil, m)
+			for _, rec := range outcome.Trace {
+				kind := query.Active
+				if rec.Empty {
+					kind = query.Empty
+				}
+				iq.Record(kind, len(rec.Bin))
+			}
+			iq.Finish()
 		}
 
 		stats.Trials++

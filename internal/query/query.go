@@ -73,6 +73,41 @@ func (k Kind) String() string {
 	}
 }
 
+// NumKinds is the number of response kinds; Kind values are contiguous in
+// [0, NumKinds), so they can index fixed-size per-kind arrays.
+const NumKinds = 4
+
+// KindCounts partitions a stream of poll outcomes by response Kind. It is
+// the single definition of the kind partition shared by the trace recorder
+// and the metrics layer, so the two can never disagree about how polls are
+// classified.
+type KindCounts struct {
+	Empty      int
+	Active     int
+	Decoded    int
+	Collisions int
+}
+
+// Observe tallies one response kind.
+func (c *KindCounts) Observe(k Kind) {
+	switch k {
+	case Empty:
+		c.Empty++
+	case Active:
+		c.Active++
+	case Decoded:
+		c.Decoded++
+	case Collision:
+		c.Collisions++
+	}
+}
+
+// Total returns the number of observed polls. Because Observe ignores
+// out-of-range kinds, the per-kind counts always partition Total exactly.
+func (c KindCounts) Total() int {
+	return c.Empty + c.Active + c.Decoded + c.Collisions
+}
+
 // Response is what the initiator learns from one group query.
 type Response struct {
 	Kind Kind

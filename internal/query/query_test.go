@@ -262,3 +262,30 @@ func TestQuickBoundsInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestKindCountsPartition(t *testing.T) {
+	var c KindCounts
+	seq := []Kind{Empty, Active, Active, Decoded, Collision, Collision, Collision, Empty}
+	for _, k := range seq {
+		c.Observe(k)
+	}
+	if c.Empty != 2 || c.Active != 2 || c.Decoded != 1 || c.Collisions != 3 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.Total() != len(seq) {
+		t.Fatalf("Total = %d, want %d", c.Total(), len(seq))
+	}
+	// Out-of-range kinds are ignored, so the partition invariant holds.
+	c.Observe(Kind(99))
+	if c.Total() != len(seq) {
+		t.Fatalf("Total after bogus kind = %d", c.Total())
+	}
+}
+
+func TestNumKindsCoversAllKinds(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if s := k.String(); len(s) == 0 || s[0] == 'K' { // "Kind(n)" fallback
+			t.Fatalf("kind %d has no name: %q", k, s)
+		}
+	}
+}

@@ -216,3 +216,69 @@ func TestTableGet(t *testing.T) {
 		t.Fatal("Get on missing series returned non-nil")
 	}
 }
+
+func TestCI95SmallSampleUsesStudentT(t *testing.T) {
+	// Five observations with known sd: the 95% CI must use t(df=4)=2.776,
+	// not the normal 1.96 — the normal approximation understates the
+	// interval by over 40% at this n.
+	var r Running
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		r.Observe(x)
+	}
+	want := 2.776 * r.StdErr()
+	if !almostEqual(r.CI95(), want, 1e-12) {
+		t.Fatalf("CI95 = %v, want %v (Student-t)", r.CI95(), want)
+	}
+	if normal := 1.96 * r.StdErr(); r.CI95() <= normal {
+		t.Fatalf("small-sample CI %v not wider than normal %v", r.CI95(), normal)
+	}
+}
+
+func TestCI95LargeSampleFallsBackToNormal(t *testing.T) {
+	src := rng.New(4)
+	var r Running
+	for i := 0; i < 100; i++ {
+		r.Observe(src.NormFloat64())
+	}
+	if !almostEqual(r.CI95(), 1.96*r.StdErr(), 1e-12) {
+		t.Fatalf("large-sample CI95 = %v, want 1.96*SE = %v", r.CI95(), 1.96*r.StdErr())
+	}
+}
+
+func TestCI95DegenerateSamples(t *testing.T) {
+	var r Running
+	if r.CI95() != 0 {
+		t.Fatal("empty accumulator CI not 0")
+	}
+	r.Observe(7)
+	if r.CI95() != 0 {
+		t.Fatal("single observation CI not 0")
+	}
+}
+
+func TestCI95MonotonicAcrossTableBoundary(t *testing.T) {
+	// Adding an identical spread of samples around the df=29 -> normal
+	// crossover must shrink the CI smoothly: the critical value decreases
+	// monotonically in n, so the half-width (same sd) cannot grow.
+	mkRunning := func(n int) Running {
+		var r Running
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				r.Observe(0)
+			} else {
+				r.Observe(1)
+			}
+		}
+		return r
+	}
+	first := mkRunning(4)
+	prev := first.CI95()
+	for n := 6; n <= 40; n += 2 {
+		r := mkRunning(n)
+		cur := r.CI95()
+		if cur >= prev {
+			t.Fatalf("CI did not shrink from n=%d (%v) to n=%d (%v)", n-2, prev, n, cur)
+		}
+		prev = cur
+	}
+}

@@ -56,13 +56,12 @@ func (r *Recorder) Len() int { return len(r.events) }
 // Reset clears the recording, keeping the wrapped querier.
 func (r *Recorder) Reset() { r.events = nil }
 
-// Summary aggregates a recording.
+// Summary aggregates a recording. The per-kind counts come from the shared
+// query.KindCounts partition (promoted fields Empty, Active, Decoded,
+// Collisions), so trace and metrics classify polls identically.
 type Summary struct {
-	Polls      int
-	Empty      int
-	Active     int
-	Decoded    int
-	Collisions int
+	Polls int
+	query.KindCounts
 	// NodesPolled is the total of bin sizes — the number of node-poll
 	// pairs, a proxy for listener energy.
 	NodesPolled int
@@ -74,16 +73,7 @@ func (r *Recorder) Summarize() Summary {
 	s.Polls = len(r.events)
 	for _, e := range r.events {
 		s.NodesPolled += len(e.Bin)
-		switch e.Response.Kind {
-		case query.Empty:
-			s.Empty++
-		case query.Active:
-			s.Active++
-		case query.Decoded:
-			s.Decoded++
-		case query.Collision:
-			s.Collisions++
-		}
+		s.KindCounts.Observe(e.Response.Kind)
 	}
 	return s
 }
