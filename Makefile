@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figs lab cover fuzz clean
+.PHONY: all build test race bench tcastbench figs lab cover fuzz clean
 
 all: build test
 
@@ -17,7 +17,14 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
+
+# The perf-regression harness: schema-versioned BENCH.json with ns/op plus
+# the cost-model rates (polls/sec, virtual-slots/sec) from the trace layer.
+# Compare against a committed baseline with:
+#   go run ./cmd/tcastbench -input BENCH.json -baseline BENCH.baseline.json
+tcastbench:
+	$(GO) run ./cmd/tcastbench -out BENCH.json
 
 # Regenerate every table and figure at paper-scale trial counts.
 figs:
@@ -35,4 +42,5 @@ fuzz:
 	$(GO) test -fuzz=FuzzThresholdDecision -fuzztime=30s ./internal/core/
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out bench_output.txt BENCH.json
+	rm -rf results

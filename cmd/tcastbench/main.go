@@ -1,0 +1,448 @@
+// Command tcastbench is the perf-regression harness: it runs every
+// registered figure benchmark plus the primitive micro-benchmarks
+// in-process via testing.Benchmark and writes a schema-versioned
+// BENCH.json. Besides wall-clock rates (ns/op, allocs/op) each entry
+// carries the cost-model rates pulled from the trace layer — polls/sec and
+// virtual-slots/sec — so a slowdown in the simulator is distinguishable
+// from a change in the algorithms' query counts.
+//
+// Usage:
+//
+//	tcastbench                                # run everything, write BENCH.json
+//	tcastbench -short -out BENCH.json         # CI smoke subset
+//	tcastbench -run fig1                      # substring-filtered subset
+//	tcastbench -baseline old.json -threshold 1.10   # fail (exit 1) on >10% ns/op regression
+//	tcastbench -input new.json -baseline old.json   # compare two files without running
+//	tcastbench -list                          # benchmark names and exit
+//
+// Trace tooling (the structured spans the -trace flags of the other
+// commands write):
+//
+//	tcastbench -diff a.jsonl b.jsonl          # first divergent span, exit 1 if any
+//	tcastbench -analyze t.jsonl               # per-phase virtual-time breakdown
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"tcast/internal/baseline"
+	"tcast/internal/bitset"
+	"tcast/internal/core"
+	"tcast/internal/experiment"
+	"tcast/internal/fastsim"
+	"tcast/internal/pollcast"
+	"tcast/internal/query"
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+	"tcast/internal/trace"
+)
+
+// BENCH.json schema identifiers; bump Version on breaking shape changes.
+const (
+	benchSchema  = "tcast-bench"
+	benchVersion = 1
+)
+
+// Result is one benchmark's entry in BENCH.json.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsOp       float64 `json:"ns_op"`
+	AllocsOp   int64   `json:"allocs_op"`
+	BytesOp    int64   `json:"bytes_op"`
+	// Polls and VirtualSlots are the cost-model work of ONE iteration,
+	// measured on a separate traced pass (zero when the benchmark has no
+	// group polls, e.g. the analytic figures).
+	Polls        int64 `json:"polls"`
+	VirtualSlots int64 `json:"virtual_slots"`
+	// PollsPerSec and VirtualSlotsPerSec divide that work by ns/op: the
+	// simulator's throughput in the paper's own cost units.
+	PollsPerSec        float64 `json:"polls_per_sec"`
+	VirtualSlotsPerSec float64 `json:"virtual_slots_per_sec"`
+}
+
+// File is the whole BENCH.json document.
+type File struct {
+	Schema     string   `json:"schema"`
+	Version    int      `json:"version"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// bench is one runnable benchmark: the timed body plus an optional traced
+// pass that meters one iteration's polls and virtual slots.
+type bench struct {
+	name  string
+	short bool // include in -short (CI smoke) runs
+	fn    func(b *testing.B)
+	// traced measures one iteration's cost-model work; nil when the
+	// benchmark has nothing to trace.
+	traced func() (polls, slots int64, err error)
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH.json", "write results to this file ('-' = stdout)")
+		short     = flag.Bool("short", false, "run only the smoke subset (micro-benchmarks + analytic figures)")
+		run       = flag.String("run", "", "run only benchmarks whose name contains this substring")
+		baseFile  = flag.String("baseline", "", "compare against this BENCH.json; exit 1 on regression")
+		threshold = flag.Float64("threshold", 1.10, "ns/op ratio above which a benchmark counts as regressed")
+		input     = flag.String("input", "", "compare this BENCH.json against -baseline instead of running")
+		list      = flag.Bool("list", false, "list benchmark names and exit")
+		diffMode  = flag.Bool("diff", false, "diff two span-trace JSONL files (args: a.jsonl b.jsonl); exit 1 on divergence")
+		analyze   = flag.String("analyze", "", "print the per-phase virtual-time breakdown of this span-trace JSONL file")
+	)
+	flag.Parse()
+
+	switch {
+	case *diffMode:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two trace files, got %d args", flag.NArg()))
+		}
+		os.Exit(diffTraces(flag.Arg(0), flag.Arg(1)))
+	case *analyze != "":
+		t, err := trace.ReadFile(*analyze)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(trace.Analyze(t).Render())
+		return
+	case *list:
+		for _, b := range benches() {
+			marker := ""
+			if b.short {
+				marker = "  (short)"
+			}
+			fmt.Printf("%s%s\n", b.name, marker)
+		}
+		return
+	}
+
+	var current File
+	if *input != "" {
+		f, err := readBenchFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+		current = f
+	} else {
+		current = runBenches(*short, *run)
+		if err := writeBenchFile(*out, current); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *baseFile != "" {
+		base, err := readBenchFile(*baseFile)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions := compare(base, current, *threshold); regressions > 0 {
+			fmt.Fprintf(os.Stderr, "tcastbench: %d benchmark(s) regressed beyond %.2fx\n", regressions, *threshold)
+			os.Exit(1)
+		}
+		fmt.Println("no regressions beyond threshold")
+	}
+}
+
+// runBenches executes the selected benchmarks and collects results.
+func runBenches(short bool, filter string) File {
+	f := File{Schema: benchSchema, Version: benchVersion}
+	for _, b := range benches() {
+		if short && !b.short {
+			continue
+		}
+		if filter != "" && !strings.Contains(b.name, filter) {
+			continue
+		}
+		res := testing.Benchmark(b.fn)
+		r := Result{
+			Name:       b.name,
+			Iterations: res.N,
+			NsOp:       float64(res.NsPerOp()),
+			AllocsOp:   res.AllocsPerOp(),
+			BytesOp:    res.AllocedBytesPerOp(),
+		}
+		if b.traced != nil {
+			polls, slots, err := b.traced()
+			if err != nil {
+				fatal(fmt.Errorf("%s: traced pass: %w", b.name, err))
+			}
+			r.Polls, r.VirtualSlots = polls, slots
+			if r.NsOp > 0 {
+				r.PollsPerSec = float64(polls) * 1e9 / r.NsOp
+				r.VirtualSlotsPerSec = float64(slots) * 1e9 / r.NsOp
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, r)
+		fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %12.0f polls/s %12.0f vslots/s\n",
+			r.Name, r.NsOp, r.AllocsOp, r.PollsPerSec, r.VirtualSlotsPerSec)
+	}
+	return f
+}
+
+// compare reports (and counts) the benchmarks whose ns/op grew beyond
+// threshold relative to base. Benchmarks present on only one side are
+// reported but never counted as regressions.
+func compare(base, current File, threshold float64) int {
+	baseline := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseline[r.Name] = r
+	}
+	regressions := 0
+	for _, r := range current.Benchmarks {
+		old, ok := baseline[r.Name]
+		if !ok {
+			fmt.Printf("%-24s new benchmark (no baseline)\n", r.Name)
+			continue
+		}
+		if old.NsOp <= 0 {
+			continue
+		}
+		ratio := r.NsOp / old.NsOp
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Printf("%-24s %12.0f -> %12.0f ns/op  (%.2fx)  %s\n", r.Name, old.NsOp, r.NsOp, ratio, status)
+	}
+	return regressions
+}
+
+func diffTraces(pathA, pathB string) int {
+	a, err := trace.ReadFile(pathA)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := trace.ReadFile(pathB)
+	if err != nil {
+		fatal(err)
+	}
+	d := trace.Diff(a, b)
+	fmt.Println(d)
+	if d.Identical {
+		return 0
+	}
+	return 1
+}
+
+func readBenchFile(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return File{}, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
+	}
+	if f.Version != benchVersion {
+		return File{}, fmt.Errorf("%s: version %d, want %d", path, f.Version, benchVersion)
+	}
+	return f, nil
+}
+
+func writeBenchFile(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// figureRuns mirrors the reduced per-figure trial counts of the repo's
+// bench_test.go, so one iteration stays well under the benchtime budget.
+func figureRuns(id string) int {
+	switch id {
+	case "fig4", "tab-err":
+		return 4
+	case "fig8", "fig10":
+		return 1
+	case "ext-multihop":
+		return 2
+	}
+	if strings.HasPrefix(id, "abl-") || strings.HasPrefix(id, "ext-") {
+		return 10
+	}
+	return 20
+}
+
+// shortFigure marks the figures cheap enough for the CI smoke subset: the
+// analytic ones that do no Monte-Carlo sweeps.
+func shortFigure(id string) bool {
+	return id == "fig8" || id == "fig10"
+}
+
+// benches assembles the full benchmark list: every registered experiment
+// (so a newly registered figure is covered automatically) followed by the
+// primitive micro-benchmarks.
+func benches() []bench {
+	var out []bench
+	for _, e := range experiment.All() {
+		e := e
+		runs := figureRuns(e.ID)
+		out = append(out, bench{
+			name:  e.ID,
+			short: shortFigure(e.ID),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tab, err := e.Run(experiment.Options{Runs: runs, Seed: uint64(i + 1)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(tab.Series) == 0 {
+						b.Fatal("empty table")
+					}
+				}
+			},
+			traced: func() (int64, int64, error) {
+				tb := trace.NewBuilder()
+				if _, err := e.Run(experiment.Options{Runs: runs, Seed: 1, Trace: tb}); err != nil {
+					return 0, 0, err
+				}
+				a := trace.Analyze(tb.Trace())
+				return int64(a.Polls), a.Slots, nil
+			},
+		})
+	}
+	out = append(out,
+		algBench("query-2tbins", core.TwoTBins{}, 128, 16, 16, fastsim.DefaultConfig()),
+		algBench("query-2tbins-2plus", core.TwoTBins{}, 128, 16, 16, fastsim.TwoPlusConfig()),
+		algBench("query-expincrease", core.ExpIncrease{}, 128, 16, 16, fastsim.DefaultConfig()),
+		algBench("query-probabns", core.ProbABNS{}, 128, 16, 16, fastsim.DefaultConfig()),
+		csmaBench(),
+		packetBench(),
+	)
+	return out
+}
+
+// algBench times one tcast session per iteration on the abstract channel;
+// its traced pass meters the same session through the span recorder.
+func algBench(name string, alg core.Algorithm, n, t, x int, cfg fastsim.Config) bench {
+	return bench{
+		name:  name,
+		short: true,
+		fn: func(b *testing.B) {
+			root := rng.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := root.Split(uint64(i))
+				ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+				if _, err := alg.Run(ch, n, t, r.Split(2)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		traced: func() (int64, int64, error) {
+			r := rng.New(1).Split(0)
+			ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+			tb := trace.NewBuilder()
+			sq := trace.NewSpanQuerier(ch, tb)
+			sq.StartSession(alg.Name())
+			if _, err := alg.Run(sq, n, t, r.Split(2)); err != nil {
+				return 0, 0, err
+			}
+			sq.EndSession()
+			a := trace.Analyze(tb.Trace())
+			return int64(a.Polls), a.Slots, nil
+		},
+	}
+}
+
+// csmaBench times the abstract CSMA baseline; slots stand in for virtual
+// time, and it has no group polls to trace.
+func csmaBench() bench {
+	return bench{
+		name:  "baseline-csma",
+		short: true,
+		fn: func(b *testing.B) {
+			root := rng.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := root.Split(uint64(i))
+				pos := bitset.New(128)
+				for _, id := range r.Split(1).Sample(128, 32) {
+					pos.Add(id)
+				}
+				baseline.CSMA{}.Run(128, 16, pos, r.Split(2))
+			}
+		},
+		traced: func() (int64, int64, error) {
+			r := rng.New(1).Split(0)
+			pos := bitset.New(128)
+			for _, id := range r.Split(1).Sample(128, 32) {
+				pos.Add(id)
+			}
+			res := baseline.CSMA{}.Run(128, 16, pos, r.Split(2))
+			return 0, int64(res.Slots), nil
+		},
+	}
+}
+
+// packetBench times 2tBins over the packet-level backcast radio; the
+// traced pass rides the session's own slot meter (3 slots per query).
+func packetBench() bench {
+	session := func(r *rng.Source) (*pollcast.Session, error) {
+		parts := make([]*pollcast.Participant, 64)
+		for id := range parts {
+			parts[id] = &pollcast.Participant{ID: id}
+		}
+		for _, id := range r.Split(1).Sample(64, 8) {
+			parts[id].Positive = true
+		}
+		med := radio.NewMedium(radio.Config{}, r.Split(2))
+		return pollcast.NewSession(med, 1<<16, parts, pollcast.Backcast, query.OnePlus)
+	}
+	return bench{
+		name:  "packet-backcast-2tbins",
+		short: true,
+		fn: func(b *testing.B) {
+			root := rng.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := root.Split(uint64(i))
+				sess, err := session(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := (core.TwoTBins{}).Run(sess, 64, 8, r.Split(3)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		traced: func() (int64, int64, error) {
+			r := rng.New(1).Split(0)
+			sess, err := session(r)
+			if err != nil {
+				return 0, 0, err
+			}
+			tb := trace.NewBuilder()
+			sq := trace.NewSpanQuerier(sess, tb)
+			sq.StartSession("2tBins")
+			if _, err := (core.TwoTBins{}).Run(sq, 64, 8, r.Split(3)); err != nil {
+				return 0, 0, err
+			}
+			sq.EndSession()
+			a := trace.Analyze(tb.Trace())
+			return int64(a.Polls), a.Slots, nil
+		},
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcastbench:", err)
+	os.Exit(1)
+}

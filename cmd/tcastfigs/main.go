@@ -28,6 +28,7 @@ import (
 
 	"tcast/internal/experiment"
 	"tcast/internal/metrics"
+	"tcast/internal/trace"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		out     = flag.String("out", "", "directory to write per-experiment files into (stdout if empty)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 
+		traceOut    = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the run to this file; serializes trials")
 		metricsOut  = flag.String("metrics", "", "dump run metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
 		metricsAddr = flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address during the run")
 		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
@@ -87,10 +89,28 @@ func main() {
 		}
 	}
 
-	opts := experiment.Options{Runs: *runs, Seed: *seed, Metrics: reg}
+	var builder *trace.Builder
+	if *traceOut != "" {
+		builder = trace.NewBuilder()
+		builder.SetMeta(
+			trace.StringAttr("cmd", "tcastfigs"),
+			trace.StringAttr("fig", *fig),
+			trace.IntAttr("runs", *runs),
+			trace.Int64Attr("seed", int64(*seed)),
+		)
+	}
+
+	opts := experiment.Options{Runs: *runs, Seed: *seed, Metrics: reg, Trace: builder}
 	for _, e := range exps {
 		start := time.Now()
+		if builder != nil {
+			sp := builder.Begin(trace.KindExperiment, e.ID)
+			sp.SetAttr(trace.StringAttr("title", e.Title))
+		}
 		tab, err := e.Run(opts)
+		if builder != nil {
+			builder.End()
+		}
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
@@ -134,6 +154,11 @@ func main() {
 	}
 	if *metricsOut != "" {
 		if err := metrics.DumpToPath(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if builder != nil {
+		if err := trace.WriteFile(*traceOut, builder.Trace()); err != nil {
 			fatal(err)
 		}
 	}

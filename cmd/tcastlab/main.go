@@ -17,6 +17,7 @@ import (
 
 	"tcast/internal/metrics"
 	"tcast/internal/motelab"
+	"tcast/internal/trace"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		badMiss      = flag.Float64("badmiss", 0.5, "the degraded mote's loss probability")
 		seed         = flag.Uint64("seed", 2011, "random seed")
 
+		traceOut   = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the campaign to this file")
 		metricsOut = flag.String("metrics", "", "dump campaign metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
 		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the campaign into this directory")
 	)
@@ -49,7 +51,20 @@ func main() {
 		}()
 	}
 
-	cfg := motelab.Config{Participants: *participants, MissProb: *miss, Seed: *seed, Metrics: reg}
+	var builder *trace.Builder
+	if *traceOut != "" {
+		builder = trace.NewBuilder()
+		builder.SetMeta(
+			trace.StringAttr("cmd", "tcastlab"),
+			trace.IntAttr("participants", *participants),
+			trace.IntAttr("repeats", *repeats),
+			trace.FloatAttr("miss", *miss),
+			trace.Int64Attr("seed", int64(*seed)),
+		)
+		builder.Begin(trace.KindExperiment, "tcastlab")
+	}
+
+	cfg := motelab.Config{Participants: *participants, MissProb: *miss, Seed: *seed, Metrics: reg, Trace: builder}
 	if *badMote >= 0 {
 		if *badMote >= *participants {
 			fatal(fmt.Errorf("badmote %d outside 0..%d", *badMote, *participants-1))
@@ -70,6 +85,11 @@ func main() {
 	curves, agg, err := lab.RunPaperProtocol(*repeats)
 	if err != nil {
 		fatal(err)
+	}
+	if builder != nil {
+		if err := trace.WriteFile(*traceOut, builder.Trace()); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("emulated testbed: %d participants, miss=%.3f, %d runs/config\n\n", *participants, *miss, *repeats)

@@ -25,6 +25,7 @@ import (
 	"tcast/internal/radio"
 	"tcast/internal/rng"
 	"tcast/internal/serial"
+	"tcast/internal/trace"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		runs         = flag.Int("runs", 20, "queries to run (controller mode)")
 		seed         = flag.Uint64("seed", 2011, "random seed")
 
+		traceOut   = flag.String("trace", "", "controller mode: write a structured span trace (JSONL, virtual time) of the runs to this file")
 		metricsOut = flag.String("metrics", "", "controller mode: dump session metrics to this file at exit ('-' = stdout, .prom = Prometheus format)")
 		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
 	)
@@ -61,7 +63,7 @@ func main() {
 			fatal(err)
 		}
 	case *connect != "" && *serve == "":
-		if err := runController(*connect, *threshold, *runs, *metricsOut); err != nil {
+		if err := runController(*connect, *threshold, *runs, *metricsOut, *traceOut); err != nil {
 			fatal(err)
 		}
 	default:
@@ -118,8 +120,9 @@ func runServer(addr string, participants int, miss float64, x int, seed uint64) 
 // summarize. With metricsOut set it additionally records per-run
 // query/round totals into a registry and dumps it at the end — the
 // controller cannot see individual polls over the wire protocol, only the
-// session totals the initiator reports.
-func runController(addr string, threshold, runs int, metricsOut string) error {
+// session totals the initiator reports. With traceOut set it renders each
+// run as a session span at backcast cost (3 RCD slots per group query).
+func runController(addr string, threshold, runs int, metricsOut, traceOut string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -130,6 +133,16 @@ func runController(addr string, threshold, runs int, metricsOut string) error {
 	var reg *metrics.Registry
 	if metricsOut != "" {
 		reg = metrics.New()
+	}
+	var builder *trace.Builder
+	if traceOut != "" {
+		builder = trace.NewBuilder()
+		builder.SetMeta(
+			trace.StringAttr("cmd", "tcastmote"),
+			trace.IntAttr("t", threshold),
+			trace.IntAttr("runs", runs),
+		)
+		builder.Begin(trace.KindExperiment, "tcastmote controller")
 	}
 	if err := c.ConfigureInitiator(threshold); err != nil {
 		return err
@@ -150,10 +163,28 @@ func runController(addr string, threshold, runs int, metricsOut string) error {
 			reg.Histogram(metrics.MetricSessionPolls, metrics.SessionBuckets).Observe(float64(queries))
 			reg.Histogram("tcast_session_rounds", metrics.SessionBuckets).Observe(float64(rounds))
 		}
+		if builder != nil {
+			sp := builder.Begin(trace.KindSession, fmt.Sprintf("run %d", i))
+			builder.Advance(3 * int64(queries))
+			sp.SetAttr(
+				trace.StringAttr("substrate", "serial"),
+				trace.StringAttr("primitive", "backcast"),
+				trace.IntAttr("t", threshold),
+				trace.BoolAttr("decision", decision),
+				trace.IntAttr("queries", queries),
+				trace.IntAttr("rounds", rounds),
+			)
+			builder.End()
+		}
 		fmt.Printf("run %2d: decision=%-5v queries=%-3d rounds=%d\n", i+1, decision, queries, rounds)
 	}
 	fmt.Printf("\n%d/%d runs answered true (t=%d); %.1f queries per run\n",
 		trueCount, runs, threshold, float64(totalQueries)/float64(runs))
+	if builder != nil {
+		if err := trace.WriteFile(traceOut, builder.Trace()); err != nil {
+			return err
+		}
+	}
 	if metricsOut != "" {
 		return metrics.DumpToPath(reg, metricsOut)
 	}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"tcast/internal/baseline"
 	"tcast/internal/bitset"
@@ -36,8 +37,9 @@ func main() {
 		runs  = flag.Int("runs", 1000, "number of trials")
 		seed  = flag.Uint64("seed", 2011, "root random seed")
 		miss  = flag.Float64("miss", 0, "per-reply miss probability (radio irregularity)")
-		dump  = flag.Bool("trace", false, "print a poll-by-poll trace of one session before the sweep")
+		dump  = flag.Bool("dump", false, "print a poll-by-poll trace of one session before the sweep")
 
+		traceOut   = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the whole sweep to this file")
 		metricsOut = flag.String("metrics", "", "dump per-poll metrics to this file after the sweep ('-' = stdout, .prom = Prometheus format)")
 		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the sweep into this directory")
 	)
@@ -70,7 +72,20 @@ func main() {
 	}
 	cfg.MissProb = *miss
 
-	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, reg)
+	var builder *trace.Builder
+	if *traceOut != "" {
+		builder = trace.NewBuilder()
+		builder.SetMeta(
+			trace.StringAttr("cmd", "tcastsim"),
+			trace.StringAttr("alg", *alg),
+			trace.IntAttr("n", *n), trace.IntAttr("t", *t), trace.IntAttr("x", *x),
+			trace.StringAttr("model", *model),
+			trace.Int64Attr("seed", int64(*seed)),
+			trace.IntAttr("runs", *runs),
+		)
+	}
+
+	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, reg, builder)
 	if err != nil {
 		fatal(err)
 	}
@@ -79,9 +94,20 @@ func main() {
 			fatal(err)
 		}
 	}
-	values, err := experiment.RunTrials(*runs, 0, rng.New(*seed), trial)
+	if builder != nil {
+		sp := builder.Begin(trace.KindExperiment, "tcastsim")
+		sp.SetAttr(trace.StringAttr("alg", name))
+	}
+	// RunTrials with one worker (the trace builder is not safe for
+	// concurrent use, and trial values are worker-count-independent).
+	values, err := experiment.RunTrials(*runs, 1, rng.New(*seed), trial)
 	if err != nil {
 		fatal(err)
+	}
+	if builder != nil {
+		if err := trace.WriteFile(*traceOut, builder.Trace()); err != nil {
+			fatal(err)
+		}
 	}
 	var acc stats.Running
 	for _, v := range values {
@@ -102,15 +128,32 @@ func main() {
 
 // buildTrial returns a per-trial cost function for the selected scheme.
 // A non-nil registry instruments every group poll of the tcast schemes;
-// the CSMA/sequential baselines have no group polls to instrument.
-func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Registry) (func(r *rng.Source) (float64, error), string, error) {
-	baselineTrial := func(run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(r *rng.Source) (float64, error) {
+// the CSMA/sequential baselines have no group polls to instrument. A
+// non-nil builder renders each trial as virtual-time spans (and forces the
+// caller to run trials sequentially — the builder is not concurrency-safe).
+func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Registry, b *trace.Builder) (func(r *rng.Source) (float64, error), string, error) {
+	trialN := 0 // span numbering; only touched when b != nil (sequential)
+	baselineTrial := func(scheme string, run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(r *rng.Source) (float64, error) {
 		return func(r *rng.Source) (float64, error) {
 			pos := bitset.New(n)
 			for _, id := range r.Split(1).Sample(n, x) {
 				pos.Add(id)
 			}
 			res := run(n, t, pos, r.Split(2))
+			if b != nil {
+				sp := b.Begin(trace.KindTrial, "trial "+strconv.Itoa(trialN))
+				trialN++
+				b.Advance(int64(res.Slots))
+				sp.SetAttr(
+					trace.StringAttr("substrate", "baseline"),
+					trace.StringAttr("scheme", scheme),
+					trace.IntAttr("slots", res.Slots),
+					trace.IntAttr("delivered", res.Delivered),
+					trace.IntAttr("collisions", res.Collisions),
+					trace.BoolAttr("decision", res.Decision),
+				)
+				b.End()
+			}
 			return float64(res.Slots), nil
 		}
 	}
@@ -130,11 +173,11 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 	case "oracle":
 		fac, name = func(ch *fastsim.Channel) core.Algorithm { return core.Oracle{Truth: ch} }, "Oracle"
 	case "csma":
-		return baselineTrial(func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result {
+		return baselineTrial("csma", func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result {
 			return baseline.CSMA{}.Run(n, t, pos, r)
 		}), "CSMA", nil
 	case "seq":
-		return baselineTrial(func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result {
+		return baselineTrial("sequential", func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result {
 			return baseline.Sequential{}.Run(n, t, pos, r)
 		}), "Sequential", nil
 	default:
@@ -142,8 +185,29 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 	}
 	return func(r *rng.Source) (float64, error) {
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		a := fac(ch)
 		q := metrics.Wrap(ch, reg)
-		res, err := fac(ch).Run(q, n, t, r.Split(2))
+		var sq *trace.SpanQuerier
+		if b != nil {
+			b.Begin(trace.KindTrial, "trial "+strconv.Itoa(trialN))
+			trialN++
+			sq = trace.NewSpanQuerier(q, b)
+			sq.StartSession(a.Name(),
+				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
+			q = sq
+		}
+		res, err := a.Run(q, n, t, r.Split(2))
+		if sq != nil {
+			if err == nil {
+				sq.EndSession(
+					trace.BoolAttr("decision", res.Decision),
+					trace.IntAttr("queries", res.Queries),
+					trace.IntAttr("rounds", res.Rounds))
+			} else {
+				sq.EndSession(trace.StringAttr("error", err.Error()))
+			}
+			b.End() // trial span
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -172,7 +236,7 @@ func printTrace(alg string, n, t, x int, cfg fastsim.Config, seed uint64) error 
 	case "probabns":
 		a = core.ProbABNS{}
 	default:
-		return fmt.Errorf("-trace supports the tcast algorithms, not %q", alg)
+		return fmt.Errorf("-dump supports the tcast algorithms, not %q", alg)
 	}
 	r := rng.New(seed)
 	ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))

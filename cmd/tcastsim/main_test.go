@@ -20,7 +20,7 @@ func TestBuildTrialAllAlgorithms(t *testing.T) {
 		"csma":     "CSMA",
 		"seq":      "Sequential",
 	} {
-		trial, name, err := buildTrial(alg, 32, 8, 10, cfg, metrics.New())
+		trial, name, err := buildTrial(alg, 32, 8, 10, cfg, metrics.New(), nil)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -38,13 +38,13 @@ func TestBuildTrialAllAlgorithms(t *testing.T) {
 }
 
 func TestBuildTrialUnknownAlgorithm(t *testing.T) {
-	if _, _, err := buildTrial("nope", 32, 8, 10, fastsim.DefaultConfig(), nil); err == nil {
+	if _, _, err := buildTrial("nope", 32, 8, 10, fastsim.DefaultConfig(), nil, nil); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestBuildTrialDeterministic(t *testing.T) {
-	trial, _, err := buildTrial("2tbins", 64, 8, 12, fastsim.DefaultConfig(), nil)
+	trial, _, err := buildTrial("2tbins", 64, 8, 12, fastsim.DefaultConfig(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

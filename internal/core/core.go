@@ -127,6 +127,14 @@ type roundOutcome struct {
 // the threshold question resolves (Algorithm 1 lines 11 and 14).
 func (s *session) runRound(b int) roundOutcome {
 	s.res.Rounds++
+	// Round boundary hook for structured tracing: queriers that implement
+	// trace.SpanQuerier's TraceRound (asserted anonymously so core does
+	// not depend on the trace package) learn where each re-binning round
+	// starts. The hook receives no channel data and consumes no
+	// randomness, so traced and bare runs are bit-identical.
+	if rt, ok := s.q.(interface{ TraceRound(round int) }); ok {
+		rt.TraceRound(s.res.Rounds)
+	}
 	if n := s.k.Candidates.Len(); b > n {
 		b = n
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"tcast/internal/metrics"
 	"tcast/internal/rng"
 	"tcast/internal/stats"
+	"tcast/internal/trace"
 )
 
 // Options tunes an experiment run.
@@ -37,6 +39,14 @@ type Options struct {
 	// Instrumentation never touches the trial RNG streams, so results
 	// are bit-identical with and without it.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, receives a structured span recording of the
+	// run: series → point → trial → session → round → poll, with
+	// virtual-time intervals from the cost model. Tracing forces the
+	// worker count to one so spans are emitted in trial order and the
+	// encoded trace depends only on the seed; like Metrics, it consumes
+	// no randomness, so the computed tables are bit-identical with and
+	// without it.
+	Trace *trace.Builder
 }
 
 func (o Options) runs(def int) int {
@@ -47,6 +57,13 @@ func (o Options) runs(def int) int {
 }
 
 func (o Options) workers() int {
+	// Span order must be deterministic for traces to be byte-identical
+	// across runs, so tracing serializes the trial pool. RunTrials
+	// produces the same values for any worker count, so this changes
+	// only wall-clock speed, never results.
+	if o.Trace != nil {
+		return 1
+	}
 	if o.Workers > 0 {
 		return o.Workers
 	}
@@ -135,13 +152,27 @@ type pointCost func(r *rng.Source) (float64, error)
 // sweep builds one series by evaluating cost at every x. When o.Metrics is
 // set, each point additionally reports its wall-clock duration and trial
 // throughput — the timings are observability only and never feed back into
-// the table.
+// the table. When o.Trace is set, the series and every sweep point become
+// spans (the per-trial spans underneath come from the cost functions).
 func sweep(name string, xs []int, o Options, root *rng.Source, cost func(x int) pointCost) (*stats.Series, error) {
 	runs, workers := o.runs(defaultRuns), o.workers()
 	s := &stats.Series{Name: name}
+	if b := o.Trace; b != nil {
+		b.Begin(trace.KindSeries, name)
+		defer b.End()
+	}
 	for _, x := range xs {
+		if b := o.Trace; b != nil {
+			sp := b.Begin(trace.KindPoint, "x="+strconv.Itoa(x))
+			sp.SetAttr(trace.IntAttr("x", x), trace.IntAttr("runs", runs))
+		}
 		start := time.Now()
 		acc, err := MeanParallel(runs, workers, root.Split(uint64(x)), cost(x))
+		if b := o.Trace; b != nil {
+			// Close the point span before the error check so the builder's
+			// stack stays balanced on every return path.
+			b.End()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("experiment: series %s at x=%d: %w", name, x, err)
 		}
@@ -168,14 +199,41 @@ func plainAlg(a core.Algorithm) algChannelFactory {
 }
 
 // tcastCost measures one tcast session's query count on a fresh channel
-// with exactly x positives. A non-nil registry interposes the instrumented
-// querier, recording every group poll; the wrapper consumes no randomness,
-// so the measured values are identical either way.
-func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, m *metrics.Registry) pointCost {
+// with exactly x positives. o.Metrics interposes the instrumented querier,
+// recording every group poll; o.Trace additionally stacks the span
+// recorder outside it, rendering the trial as trial → session → round →
+// poll spans. Neither wrapper consumes randomness, so the measured values
+// are identical in every combination.
+func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options) pointCost {
+	// Trial spans are numbered in emission order. The counter is only
+	// touched when tracing, and tracing serializes the trial pool
+	// (Options.workers), so it needs no synchronization.
+	trial := 0
 	return func(r *rng.Source) (float64, error) {
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
-		q := metrics.Wrap(ch, m)
-		res, err := fac(ch).Run(q, n, t, r.Split(2))
+		alg := fac(ch)
+		q := metrics.Wrap(ch, o.Metrics)
+		var sq *trace.SpanQuerier
+		if b := o.Trace; b != nil {
+			b.Begin(trace.KindTrial, "trial "+strconv.Itoa(trial))
+			trial++
+			sq = trace.NewSpanQuerier(q, b)
+			sq.StartSession(alg.Name(),
+				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
+			q = sq
+		}
+		res, err := alg.Run(q, n, t, r.Split(2))
+		if sq != nil {
+			if err == nil {
+				sq.EndSession(
+					trace.BoolAttr("decision", res.Decision),
+					trace.IntAttr("queries", res.Queries),
+					trace.IntAttr("rounds", res.Rounds))
+			} else {
+				sq.EndSession(trace.StringAttr("error", err.Error()))
+			}
+			o.Trace.End() // trial span
+		}
 		if err != nil {
 			return 0, err
 		}

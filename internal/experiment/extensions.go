@@ -300,11 +300,26 @@ func init() {
 			for i, k := range []int{1, 2, 4, 8} {
 				k := k
 				s, err := sweep(fmt.Sprintf("k=%d", k), xs, o, root.Split(uint64(i)), func(x int) pointCost {
+					trial := 0 // only touched when tracing, which serializes trials
 					return func(r *rng.Source) (float64, error) {
 						ch := kplus.RandomChannel(k, defaultN, x, r.Split(1))
 						res, err := kplus.Threshold(ch, defaultN, defaultT, r.Split(2))
 						if err != nil {
 							return 0, err
+						}
+						if b := o.Trace; b != nil {
+							// One RCD slot per k+ group query, like fastsim.
+							sp := b.Begin(trace.KindTrial, fmt.Sprintf("trial %d", trial))
+							trial++
+							b.Advance(int64(res.Queries))
+							sp.SetAttr(
+								trace.StringAttr("substrate", "kplus"),
+								trace.IntAttr("k", k),
+								trace.IntAttr("n", defaultN), trace.IntAttr("t", defaultT), trace.IntAttr("x", x),
+								trace.IntAttr("queries", res.Queries),
+								trace.BoolAttr("decision", res.Decision),
+							)
+							b.End()
 						}
 						if res.Decision != (x >= defaultT) {
 							return 0, fmt.Errorf("k=%d wrong decision at x=%d", k, x)
@@ -364,7 +379,7 @@ func init() {
 			}
 			tab.Add(est)
 			thresh, err := sweep("Threshold (2tBins, t=16)", xs, o, root.Split(3), func(x int) pointCost {
-				return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
+				return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, fastsim.DefaultConfig(), o)
 			})
 			if err != nil {
 				return nil, err

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
 
 	"tcast/internal/baseline"
 	"tcast/internal/bitset"
@@ -11,6 +12,7 @@ import (
 	"tcast/internal/motelab"
 	"tcast/internal/rng"
 	"tcast/internal/stats"
+	"tcast/internal/trace"
 )
 
 // Default parameters for the simulation figures. The paper omits N and t
@@ -63,14 +65,37 @@ func max(a, b int) int {
 	return b
 }
 
+// baselineTrialSpan renders one abstract-baseline trial as a leaf trial
+// span, advancing the virtual clock by the slots the baseline consumed —
+// the same cost unit the tcast sessions are metered in.
+func baselineTrialSpan(b *trace.Builder, scheme string, trial, n, t, x int, res baseline.Result) {
+	sp := b.Begin(trace.KindTrial, "trial "+strconv.Itoa(trial))
+	b.Advance(int64(res.Slots))
+	sp.SetAttr(
+		trace.StringAttr("substrate", "baseline"),
+		trace.StringAttr("scheme", scheme),
+		trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x),
+		trace.IntAttr("slots", res.Slots),
+		trace.IntAttr("delivered", res.Delivered),
+		trace.IntAttr("collisions", res.Collisions),
+		trace.BoolAttr("decision", res.Decision),
+	)
+	b.End()
+}
+
 // csmaCost measures the CSMA baseline's slot count.
-func csmaCost(n, t, x int) pointCost {
+func csmaCost(n, t, x int, o Options) pointCost {
+	trial := 0 // only touched when tracing, which serializes trials
 	return func(r *rng.Source) (float64, error) {
 		pos := bitset.New(n)
 		for _, id := range r.Split(1).Sample(n, x) {
 			pos.Add(id)
 		}
 		res := baseline.CSMA{}.Run(n, t, pos, r.Split(2))
+		if b := o.Trace; b != nil {
+			baselineTrialSpan(b, "csma", trial, n, t, x, res)
+			trial++
+		}
 		if res.Decision != (x >= t) {
 			return 0, fmt.Errorf("csma: wrong decision for x=%d t=%d", x, t)
 		}
@@ -79,13 +104,18 @@ func csmaCost(n, t, x int) pointCost {
 }
 
 // sequentialCost measures the sequential-ordering baseline's slot count.
-func sequentialCost(n, t, x int) pointCost {
+func sequentialCost(n, t, x int, o Options) pointCost {
+	trial := 0
 	return func(r *rng.Source) (float64, error) {
 		pos := bitset.New(n)
 		for _, id := range r.Split(1).Sample(n, x) {
 			pos.Add(id)
 		}
 		res := baseline.Sequential{}.Run(n, t, pos, r.Split(2))
+		if b := o.Trace; b != nil {
+			baselineTrialSpan(b, "sequential", trial, n, t, x, res)
+			trial++
+		}
 		if res.Decision != (x >= t) {
 			return 0, fmt.Errorf("sequential: wrong decision for x=%d t=%d", x, t)
 		}
@@ -109,13 +139,13 @@ func init() {
 				cost func(x int) pointCost
 			}{
 				{"2tBins", func(x int) pointCost {
-					return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
+					return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, fastsim.DefaultConfig(), o)
 				}},
 				{"ExpIncrease", func(x int) pointCost {
-					return tcastCost(plainAlg(core.ExpIncrease{}), defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
+					return tcastCost(plainAlg(core.ExpIncrease{}), defaultN, defaultT, x, fastsim.DefaultConfig(), o)
 				}},
-				{"CSMA", func(x int) pointCost { return csmaCost(defaultN, defaultT, x) }},
-				{"Sequential", func(x int) pointCost { return sequentialCost(defaultN, defaultT, x) }},
+				{"CSMA", func(x int) pointCost { return csmaCost(defaultN, defaultT, x, o) }},
+				{"Sequential", func(x int) pointCost { return sequentialCost(defaultN, defaultT, x, o) }},
 			}
 			for i, c := range curves {
 				s, err := sweep(c.name, xs, o, root.Split(uint64(i)), c.cost)
@@ -151,7 +181,7 @@ func init() {
 			for i, c := range curves {
 				c := c
 				s, err := sweep(c.name, xs, o, root.Split(uint64(i)), func(x int) pointCost {
-					return tcastCost(plainAlg(c.alg), defaultN, defaultT, x, c.cfg, o.Metrics)
+					return tcastCost(plainAlg(c.alg), defaultN, defaultT, x, c.cfg, o)
 				})
 				if err != nil {
 					return nil, err
@@ -186,7 +216,7 @@ func init() {
 			for i, c := range curves {
 				c := c
 				s, err := sweep(c.name, ts, o, root.Split(uint64(i)), func(t int) pointCost {
-					return tcastCost(plainAlg(c.alg), defaultN, t, x, c.cfg, o.Metrics)
+					return tcastCost(plainAlg(c.alg), defaultN, t, x, c.cfg, o)
 				})
 				if err != nil {
 					return nil, err
@@ -203,6 +233,7 @@ func init() {
 		Run: func(o Options) (*stats.Table, error) {
 			cfg := motelab.DefaultConfig()
 			cfg.Seed = o.Seed + 1
+			cfg.Trace = o.Trace
 			lab, err := motelab.New(cfg)
 			if err != nil {
 				return nil, err
@@ -234,6 +265,7 @@ func init() {
 		Run: func(o Options) (*stats.Table, error) {
 			cfg := motelab.DefaultConfig()
 			cfg.Seed = o.Seed + 1
+			cfg.Trace = o.Trace
 			lab, err := motelab.New(cfg)
 			if err != nil {
 				return nil, err
@@ -287,14 +319,14 @@ func init() {
 				XLabel: "positive nodes x", YLabel: "queries / slots",
 			}
 			prob, err := sweep("ProbABNS", xs, o, root.Split(1), func(x int) pointCost {
-				return tcastCost(plainAlg(core.ProbABNS{}), n, t, x, fastsim.DefaultConfig(), o.Metrics)
+				return tcastCost(plainAlg(core.ProbABNS{}), n, t, x, fastsim.DefaultConfig(), o)
 			})
 			if err != nil {
 				return nil, err
 			}
 			tab.Add(prob)
 			csma, err := sweep("CSMA", xs, o, root.Split(2), func(x int) pointCost {
-				return csmaCost(n, t, x)
+				return csmaCost(n, t, x, o)
 			})
 			if err != nil {
 				return nil, err
@@ -441,7 +473,7 @@ func init() {
 					CaptureEffectPresent: true,
 				}
 				s, err := sweep(fmt.Sprintf("beta=%.2f", beta), xs, o, root.Split(uint64(i)), func(x int) pointCost {
-					return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, cfg, o.Metrics)
+					return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, cfg, o)
 				})
 				if err != nil {
 					return nil, err
@@ -454,7 +486,7 @@ func init() {
 					Capture:              fastsim.InverseCapture(),
 					CaptureEffectPresent: true,
 				}
-				return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, cfg, o.Metrics)
+				return tcastCost(plainAlg(core.TwoTBins{}), defaultN, defaultT, x, cfg, o)
 			})
 			if err != nil {
 				return nil, err
@@ -481,7 +513,7 @@ func init() {
 			} {
 				alg := alg
 				s, err := sweep(alg.Name(), xs, o, root.Split(uint64(i)), func(x int) pointCost {
-					return tcastCost(plainAlg(alg), defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
+					return tcastCost(plainAlg(alg), defaultN, defaultT, x, fastsim.DefaultConfig(), o)
 				})
 				if err != nil {
 					return nil, err
@@ -527,7 +559,7 @@ func abnsFigure(probabilistic bool) func(o Options) (*stats.Table, error) {
 		for i, c := range curves {
 			c := c
 			s, err := sweep(c.name, xs, o, root.Split(uint64(i)), func(x int) pointCost {
-				return tcastCost(c.fac, defaultN, defaultT, x, fastsim.DefaultConfig(), o.Metrics)
+				return tcastCost(c.fac, defaultN, defaultT, x, fastsim.DefaultConfig(), o)
 			})
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -8,6 +9,8 @@ import (
 
 	"tcast/internal/metrics"
 	"tcast/internal/rng"
+	"tcast/internal/stats"
+	"tcast/internal/trace"
 )
 
 // failingTrial builds a trial function that fails at exactly the given
@@ -158,5 +161,85 @@ func TestMetricsPartitionPollTotals(t *testing.T) {
 	}
 	if perKind == 0 || perKind != totalPolls {
 		t.Fatalf("per-kind polls %v != session poll total %v", perKind, totalPolls)
+	}
+}
+
+// TestTracingDoesNotPerturbTrials extends the determinism acceptance test
+// to the span layer: the span recorder consumes zero randomness, so a
+// traced run must produce the identical figure table as a bare run with
+// the same seed, and two traced runs with the same seed must serialize to
+// byte-identical trace files.
+func TestTracingDoesNotPerturbTrials(t *testing.T) {
+	for _, id := range []string{"fig1", "fig2"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := e.Run(Options{Runs: 20, Seed: 2011})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		run := func() (*stats.Table, []byte) {
+			b := trace.NewBuilder()
+			res, err := e.Run(Options{Runs: 20, Seed: 2011, Trace: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := trace.EncodeBytes(b.Trace())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, enc
+		}
+		traced, enc1 := run()
+		_, enc2 := run()
+
+		if Render(plain) != Render(traced) {
+			t.Fatalf("%s: tracing changed the table:\n--- plain ---\n%s--- traced ---\n%s",
+				id, Render(plain), Render(traced))
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("%s: same-seed traced runs are not byte-identical", id)
+		}
+		// The trace must actually contain the trial structure.
+		tr, err := trace.Decode(bytes.NewReader(enc1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := trace.Analyze(tr)
+		if a.Phases[trace.KindTrial].Spans == 0 || a.Polls == 0 {
+			t.Fatalf("%s: trace missing trials/polls: %+v", id, a)
+		}
+	}
+}
+
+// TestTracingAndMetricsStack: both observability layers enabled at once
+// still reproduce the bare table — the experiment-level counterpart of the
+// middleware-ordering test in internal/trace.
+func TestTracingAndMetricsStack(t *testing.T) {
+	e, err := Get("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := e.Run(Options{Runs: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	b := trace.NewBuilder()
+	both, err := e.Run(Options{Runs: 20, Seed: 7, Metrics: reg, Trace: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Render(plain) != Render(both) {
+		t.Fatalf("stacked observability changed the table:\n--- plain ---\n%s--- stacked ---\n%s",
+			Render(plain), Render(both))
+	}
+	if a := trace.Analyze(b.Trace()); a.Polls == 0 {
+		t.Fatal("no polls traced")
+	}
+	if len(reg.Snapshot().Counters) == 0 {
+		t.Fatal("registry empty")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"tcast/internal/bitset"
 	"tcast/internal/query"
 	"tcast/internal/rng"
+	"tcast/internal/trace"
 )
 
 // CaptureModel gives the probability that the initiator's radio locks onto
@@ -160,6 +161,20 @@ func (c *Channel) IsPositive(id int) bool { return c.positives.Contains(id) }
 
 // Stats returns the transmission counts accumulated so far.
 func (c *Channel) Stats() TxStats { return c.stats }
+
+// TraceAttrs implements trace.Annotator: the abstract channel annotates
+// session spans with its radio configuration and transmission ledger.
+func (c *Channel) TraceAttrs() []trace.Attr {
+	return []trace.Attr{
+		trace.StringAttr("substrate", "fastsim"),
+		trace.StringAttr("collision_model", c.cfg.Model.String()),
+		trace.BoolAttr("capture_effect", c.cfg.CaptureEffectPresent),
+		trace.FloatAttr("miss_prob", c.cfg.MissProb),
+		trace.FloatAttr("false_active_prob", c.cfg.FalseActiveProb),
+		trace.IntAttr("tx_polls", c.stats.Polls),
+		trace.IntAttr("tx_replies", c.stats.Replies),
+	}
+}
 
 // Query implements query.Querier: it polls the bin and reports what the
 // initiator's radio observes.

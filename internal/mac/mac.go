@@ -10,6 +10,7 @@ import (
 	"tcast/internal/radio"
 	"tcast/internal/rng"
 	"tcast/internal/sim"
+	"tcast/internal/trace"
 )
 
 // Result reports one packet-level collection session.
@@ -22,6 +23,19 @@ type Result struct {
 	Delivered int
 	// Collisions counts slots lost to colliding replies.
 	Collisions int
+}
+
+// TraceAttrs implements trace.Annotator: a MAC-level result annotates its
+// trial span with the contention outcome — slots burned, replies
+// delivered, and the backoff collisions the paper blames CSMA for.
+func (r Result) TraceAttrs() []trace.Attr {
+	return []trace.Attr{
+		trace.StringAttr("substrate", "mac"),
+		trace.BoolAttr("decision", r.Decision),
+		trace.IntAttr("slots", r.Slots),
+		trace.IntAttr("delivered", r.Delivered),
+		trace.IntAttr("collisions", r.Collisions),
+	}
 }
 
 // CSMA is the packet-level contention collector. Positive nodes contend

@@ -114,6 +114,20 @@ func (iq *InstrumentedQuerier) Record(kind query.Kind, binSize int) {
 // Traits implements query.Querier.
 func (iq *InstrumentedQuerier) Traits() query.Traits { return iq.q.Traits() }
 
+// Unwrap implements query.Wrapper, so the instrumented querier composes
+// with other middleware (the trace span recorder) in either stacking
+// order: chain-walking helpers find each layer wherever it sits.
+func (iq *InstrumentedQuerier) Unwrap() query.Querier { return iq.q }
+
+// TraceRound forwards the algorithms' round-boundary hook to the wrapped
+// querier. Without this, stacking the metrics layer outside a trace span
+// recorder would swallow round spans.
+func (iq *InstrumentedQuerier) TraceRound(round int) {
+	if rt, ok := iq.q.(interface{ TraceRound(round int) }); ok {
+		rt.TraceRound(round)
+	}
+}
+
 // Session returns the kind partition and node-poll total of the polls seen
 // since construction (or the last Finish).
 func (iq *InstrumentedQuerier) Session() (query.KindCounts, int) {
@@ -131,10 +145,22 @@ func (iq *InstrumentedQuerier) Finish() {
 	iq.sessNodes = 0
 }
 
-// FinishSession ends the session on q if it is an InstrumentedQuerier and
-// is a no-op otherwise — the counterpart of Wrap.
+// FinishSession ends the session on the first InstrumentedQuerier found
+// in q's middleware chain and is a no-op when there is none — the
+// counterpart of Wrap. Walking the chain (rather than type-asserting q
+// itself) means callers may stack further middleware, such as the trace
+// span recorder, outside the instrumented querier without losing their
+// session totals.
 func FinishSession(q query.Querier) {
-	if iq, ok := q.(*InstrumentedQuerier); ok {
-		iq.Finish()
+	for q != nil {
+		if iq, ok := q.(*InstrumentedQuerier); ok {
+			iq.Finish()
+			return
+		}
+		w, ok := q.(query.Wrapper)
+		if !ok {
+			return
+		}
+		q = w.Unwrap()
 	}
 }

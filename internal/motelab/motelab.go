@@ -11,6 +11,7 @@ package motelab
 
 import (
 	"fmt"
+	"strconv"
 
 	"tcast/internal/core"
 	"tcast/internal/metrics"
@@ -18,6 +19,7 @@ import (
 	"tcast/internal/query"
 	"tcast/internal/radio"
 	"tcast/internal/rng"
+	"tcast/internal/trace"
 )
 
 // Config describes the emulated testbed.
@@ -47,6 +49,11 @@ type Config struct {
 	// (replayed from the initiator's trace) and per-session totals,
 	// under the same instrument names as the simulation substrates.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, receives virtual-time spans for every run:
+	// trial → session → poll, replayed from the initiator's poll record
+	// at backcast cost (3 RCD slots per group query). The lab runs
+	// trials sequentially, so span order depends only on the seed.
+	Trace *trace.Builder
 }
 
 // DefaultConfig returns the paper's testbed shape.
@@ -173,6 +180,14 @@ func New(cfg Config) (*Lab, error) {
 	return &Lab{cfg: cfg, root: root, parts: parts, initiator: ini}, nil
 }
 
+// algName names the initiator firmware's algorithm for span labels.
+func (l *Lab) algName() string {
+	if l.cfg.Algorithm != nil {
+		return l.cfg.Algorithm.Name()
+	}
+	return core.TwoTBins{}.Name()
+}
+
 // Close shuts all motes down.
 func (l *Lab) Close() {
 	l.initiator.Close()
@@ -224,6 +239,42 @@ func (l *Lab) RunBatch(threshold, x, repeats int) (Stats, error) {
 			}
 			iq.Finish()
 		}
+		if b := l.cfg.Trace; b != nil {
+			// Replay the initiator's poll record as spans. Backcast
+			// charges 3 RCD slots per group query (bind, poll, HACK).
+			b.Begin(trace.KindTrial, "rep "+strconv.Itoa(rep))
+			sess := b.Begin(trace.KindSession, l.algName())
+			sess.SetAttr(
+				trace.StringAttr("substrate", "motelab"),
+				trace.StringAttr("primitive", "backcast"),
+				trace.IntAttr("n", len(l.parts)),
+				trace.IntAttr("t", threshold),
+				trace.IntAttr("x", x),
+			)
+			nodes := 0
+			for i, rec := range outcome.Trace {
+				sp := b.Begin(trace.KindPoll, "poll "+strconv.Itoa(i))
+				b.Advance(3)
+				kind := query.Active
+				if rec.Empty {
+					kind = query.Empty
+				}
+				sp.SetAttr(
+					trace.IntAttr("bin_size", len(rec.Bin)),
+					trace.StringAttr("kind", kind.String()),
+				)
+				b.End()
+				nodes += len(rec.Bin)
+			}
+			sess.SetAttr(
+				trace.IntAttr("polls", len(outcome.Trace)),
+				trace.IntAttr("nodes_polled", nodes),
+				trace.BoolAttr("decision", outcome.Decision),
+				trace.IntAttr("queries", outcome.Queries),
+			)
+			b.End() // session
+			b.End() // trial
+		}
 
 		stats.Trials++
 		stats.TotalQueries += outcome.Queries
@@ -267,13 +318,29 @@ func (l *Lab) RunPaperProtocol(repeats int) (map[int]map[int]float64, Stats, err
 	agg := newStats()
 	for _, th := range []int{2, 4, 6} {
 		curves[th] = make(map[int]float64)
+		if b := l.cfg.Trace; b != nil {
+			b.Begin(trace.KindSeries, "t="+strconv.Itoa(th))
+		}
 		for x := 0; x <= len(l.parts); x++ {
+			if b := l.cfg.Trace; b != nil {
+				sp := b.Begin(trace.KindPoint, "x="+strconv.Itoa(x))
+				sp.SetAttr(trace.IntAttr("x", x), trace.IntAttr("runs", repeats))
+			}
 			st, err := l.RunBatch(th, x, repeats)
+			if b := l.cfg.Trace; b != nil {
+				b.End() // point, closed before the error check
+			}
 			if err != nil {
+				if b := l.cfg.Trace; b != nil {
+					b.End() // series
+				}
 				return nil, Stats{}, err
 			}
 			curves[th][x] = st.AvgQueries()
 			agg.Merge(st)
+		}
+		if b := l.cfg.Trace; b != nil {
+			b.End() // series
 		}
 	}
 	return curves, agg, nil

@@ -23,6 +23,7 @@ import (
 
 	"tcast/internal/query"
 	"tcast/internal/radio"
+	"tcast/internal/trace"
 )
 
 // Primitive selects the feedback mechanism.
@@ -107,6 +108,19 @@ func (s *Session) Slots() int { return s.slots }
 // Elapsed returns the session's wall-clock air time so far, from the
 // medium's 802.15.4 clock.
 func (s *Session) Elapsed() time.Duration { return s.med.Elapsed() }
+
+// TraceAttrs implements trace.Annotator: the packet-level session
+// annotates spans with its primitive, collision model and slot ledger,
+// plus the medium's imperfection model underneath.
+func (s *Session) TraceAttrs() []trace.Attr {
+	attrs := []trace.Attr{
+		trace.StringAttr("substrate", "pollcast"),
+		trace.StringAttr("primitive", s.prim.String()),
+		trace.StringAttr("collision_model", s.model.String()),
+		trace.IntAttr("slots", s.slots),
+	}
+	return append(attrs, s.med.TraceAttrs()...)
+}
 
 // Query implements query.Querier: one RCD group poll over the air.
 func (s *Session) Query(bin []int) query.Response {

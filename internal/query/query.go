@@ -151,6 +151,32 @@ type Querier interface {
 	Traits() Traits
 }
 
+// Wrapper is implemented by querier middleware (trace recorders, metric
+// instrumenters) that delegates to an underlying Querier. It lets
+// stacked middleware be walked without knowing the stacking order, so
+// layers compose in either order: helpers that need a specific layer
+// (metrics.FinishSession, the trace span recorder's substrate annotation)
+// search the chain instead of type-asserting the outermost querier.
+type Wrapper interface {
+	Unwrap() Querier
+}
+
+// Root follows Unwrap to the innermost Querier — the substrate below
+// every middleware layer.
+func Root(q Querier) Querier {
+	for {
+		w, ok := q.(Wrapper)
+		if !ok {
+			return q
+		}
+		inner := w.Unwrap()
+		if inner == nil {
+			return q
+		}
+		q = inner
+	}
+}
+
 // Counting wraps a Querier and counts issued queries — the paper's cost
 // metric.
 type Counting struct {
@@ -166,3 +192,6 @@ func (c *Counting) Query(bin []int) Response {
 
 // Traits implements Querier.
 func (c *Counting) Traits() Traits { return c.Q.Traits() }
+
+// Unwrap implements Wrapper.
+func (c *Counting) Unwrap() Querier { return c.Q }

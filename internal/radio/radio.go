@@ -13,6 +13,7 @@ import (
 
 	"tcast/internal/rng"
 	"tcast/internal/timing"
+	"tcast/internal/trace"
 )
 
 // FrameKind classifies frames on the medium.
@@ -149,6 +150,18 @@ func NewMedium(cfg Config, r *rng.Source) *Medium {
 
 // Slot returns the index of the current (or last completed) slot.
 func (m *Medium) Slot() int { return m.slot }
+
+// TraceAttrs implements trace.Annotator: the medium annotates spans with
+// its imperfection model and the air-time ledger so far.
+func (m *Medium) TraceAttrs() []trace.Attr {
+	return []trace.Attr{
+		trace.FloatAttr("radio_miss_prob", m.cfg.MissProb),
+		trace.FloatAttr("radio_interference_prob", m.cfg.InterferenceProb),
+		trace.BoolAttr("radio_interference_jams", m.cfg.InterferenceJams),
+		trace.IntAttr("radio_slots", m.slot),
+		trace.Int64Attr("radio_airtime_us", m.elapsed.Microseconds()),
+	}
+}
 
 // BeginSlot opens the next slot. External interference for the slot is
 // drawn here.

@@ -7,6 +7,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"tcast/internal/trace"
 )
 
 // Time is virtual time in ticks. The packet-level substrates interpret one
@@ -56,6 +58,17 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Pending returns the number of events still queued.
 func (k *Kernel) Pending() int { return len(k.events) }
+
+// TraceAttrs implements trace.Annotator: the kernel annotates spans with
+// its virtual clock and scheduling ledger, letting packet-level drivers
+// tie span intervals back to discrete-event time.
+func (k *Kernel) TraceAttrs() []trace.Attr {
+	return []trace.Attr{
+		trace.Int64Attr("sim_now_ticks", int64(k.now)),
+		trace.Int64Attr("sim_events_scheduled", int64(k.seq)),
+		trace.IntAttr("sim_events_pending", len(k.events)),
+	}
+}
 
 // At schedules do to run at absolute virtual time t. Scheduling in the
 // past panics: it would silently reorder causality.

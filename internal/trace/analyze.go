@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PhaseStat aggregates every span of one kind in a trace.
+type PhaseStat struct {
+	Kind  SpanKind
+	Spans int
+	// Slots is the total virtual time covered by spans of this kind.
+	Slots int64
+	// SelfSlots is Slots minus the time covered by child spans — the
+	// virtual time attributable to this level alone. For polls (leaves)
+	// Self equals Slots; for a session whose rounds tile it exactly,
+	// Self is zero.
+	SelfSlots int64
+}
+
+// Analysis is the per-phase virtual-time breakdown of a trace.
+type Analysis struct {
+	Phases [NumSpanKinds]PhaseStat
+	// Polls and NodesPolled total the poll leaves: the paper's query
+	// cost and listener-energy proxy.
+	Polls       int
+	NodesPolled int
+	// Span totals and the virtual extent of the whole trace.
+	Spans int
+	Slots int64
+}
+
+// Analyze computes the per-phase breakdown.
+func Analyze(t *Trace) Analysis {
+	var a Analysis
+	for k := range a.Phases {
+		a.Phases[k].Kind = SpanKind(k)
+	}
+	for _, root := range t.Roots {
+		root.Walk(func(_ int, sp *Span) {
+			a.Spans++
+			ph := &a.Phases[sp.Kind]
+			ph.Spans++
+			ph.Slots += sp.Slots()
+			self := sp.Slots()
+			for _, c := range sp.Children {
+				self -= c.Slots()
+			}
+			ph.SelfSlots += self
+			if sp.Kind == KindPoll {
+				a.Polls++
+				if v, ok := sp.Attr("bin_size"); ok {
+					if n, err := strconv.Atoi(v); err == nil {
+						a.NodesPolled += n
+					}
+				}
+			}
+		})
+		if end := root.End; end > a.Slots {
+			a.Slots = end
+		}
+	}
+	return a
+}
+
+// Render formats the analysis as an aligned text table.
+func (a Analysis) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %12s %12s\n", "phase", "spans", "slots", "self-slots")
+	for _, ph := range a.Phases {
+		if ph.Spans == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %8d %12d %12d\n", ph.Kind, ph.Spans, ph.Slots, ph.SelfSlots)
+	}
+	fmt.Fprintf(&b, "total: %d spans over %d virtual slots; %d polls, %d node-polls (energy proxy)\n",
+		a.Spans, a.Slots, a.Polls, a.NodesPolled)
+	return b.String()
+}

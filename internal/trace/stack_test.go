@@ -1,0 +1,99 @@
+package trace_test
+
+import (
+	"testing"
+
+	"tcast/internal/core"
+	"tcast/internal/fastsim"
+	"tcast/internal/metrics"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+	"tcast/internal/trace"
+)
+
+// stackOrder builds a middleware chain over ch in one of the two stacking
+// orders and runs a 2tBins session through it, returning the core result,
+// the metrics registry, and the finished span trace.
+func stackOrder(t *testing.T, spanOutside bool, seed uint64) (core.Result, *metrics.Registry, *trace.Trace) {
+	t.Helper()
+	r := rng.New(seed)
+	ch, _ := fastsim.RandomPositives(64, 12, fastsim.DefaultConfig(), r.Split(1))
+	reg := metrics.New()
+	b := trace.NewBuilder()
+
+	var q query.Querier
+	var sq *trace.SpanQuerier
+	if spanOutside {
+		q = metrics.Wrap(ch, reg)
+		sq = trace.NewSpanQuerier(q, b)
+		q = sq
+	} else {
+		sq = trace.NewSpanQuerier(ch, b)
+		q = metrics.Wrap(sq, reg)
+	}
+	sq.StartSession("2tBins")
+
+	res, err := (core.TwoTBins{}).Run(q, 64, 8, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq.EndSession(trace.IntAttr("queries", res.Queries))
+	metrics.FinishSession(q)
+	return res, reg, b.Trace()
+}
+
+// TestStackedMiddlewareOrderIndependent is the regression test for the
+// composition contract: the metrics layer and the span recorder must
+// produce identical numbers — and never double-count — regardless of which
+// one wraps the other, and FinishSession must find the metrics layer
+// through the span recorder.
+func TestStackedMiddlewareOrderIndependent(t *testing.T) {
+	const seed = 41
+
+	// Reference run with no middleware at all.
+	r := rng.New(seed)
+	ch, _ := fastsim.RandomPositives(64, 12, fastsim.DefaultConfig(), r.Split(1))
+	bare, err := (core.TwoTBins{}).Run(ch, 64, 8, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resOut, regOut, trOut := stackOrder(t, true, seed)
+	resIn, regIn, trIn := stackOrder(t, false, seed)
+
+	// Neither stacking order perturbs the algorithm.
+	if resOut != bare || resIn != bare {
+		t.Fatalf("results diverge: bare=%+v spanOutside=%+v spanInside=%+v", bare, resOut, resIn)
+	}
+
+	// Metrics agree with the session and with each other: exactly one
+	// session, exactly res.Queries polls — counted once, not once per layer.
+	for name, reg := range map[string]*metrics.Registry{"span outside": regOut, "span inside": regIn} {
+		var polls int64
+		for k := query.Kind(0); int(k) < query.NumKinds; k++ {
+			polls += reg.Counter(metrics.MetricPolls, "kind", k.String()).Value()
+		}
+		if polls != int64(bare.Queries) {
+			t.Errorf("%s: metrics polls = %d, want %d", name, polls, bare.Queries)
+		}
+		if got := reg.Counter(metrics.MetricSessions).Value(); got != 1 {
+			t.Errorf("%s: sessions = %d, want 1 (FinishSession must reach the metrics layer)", name, got)
+		}
+		h := reg.Histogram(metrics.MetricSessionPolls, metrics.SessionBuckets)
+		if h.Count() != 1 || h.Sum() != float64(bare.Queries) {
+			t.Errorf("%s: session polls histogram count=%d sum=%v, want 1/%d", name, h.Count(), h.Sum(), bare.Queries)
+		}
+	}
+
+	// The span layer likewise records each poll exactly once in both orders,
+	// and the two traces are bit-identical.
+	for name, tr := range map[string]*trace.Trace{"span outside": trOut, "span inside": trIn} {
+		a := trace.Analyze(tr)
+		if a.Polls != bare.Queries {
+			t.Errorf("%s: trace polls = %d, want %d", name, a.Polls, bare.Queries)
+		}
+	}
+	if d := trace.Diff(trOut, trIn); !d.Identical {
+		t.Errorf("traces differ between stacking orders: %s", d)
+	}
+}

@@ -47,6 +47,17 @@ func (r *Recorder) Query(bin []int) query.Response {
 // Traits implements query.Querier.
 func (r *Recorder) Traits() query.Traits { return r.q.Traits() }
 
+// Unwrap implements query.Wrapper.
+func (r *Recorder) Unwrap() query.Querier { return r.q }
+
+// TraceRound forwards the algorithms' round hook to the wrapped querier,
+// so a Recorder stacked over a SpanQuerier does not swallow round spans.
+func (r *Recorder) TraceRound(round int) {
+	if rt, ok := r.q.(roundTracer); ok {
+		rt.TraceRound(round)
+	}
+}
+
 // Events returns the recorded polls in order.
 func (r *Recorder) Events() []Event { return r.events }
 
@@ -115,6 +126,13 @@ func renderBin(bin []int) string {
 // exactly the bin recorded at position i, and receives the recorded
 // response. It verifies determinism claims — re-running an algorithm with
 // the same RNG stream against the replay must reproduce the session.
+//
+// Error handling: once a replay diverges or runs past the recording, the
+// *first* error is kept and every subsequent Query keeps returning Empty
+// responses (a replay has no honest answer after divergence, and Empty at
+// least drives well-behaved algorithms to terminate). Callers must
+// therefore never treat a completed session as proof of a clean replay on
+// its own — check MustDone (or Err plus Done) afterwards.
 type Replayer struct {
 	events []Event
 	pos    int
@@ -127,7 +145,9 @@ func NewReplayer(events []Event, traits query.Traits) *Replayer {
 	return &Replayer{events: events, traits: traits}
 }
 
-// Query implements query.Querier.
+// Query implements query.Querier. After the first divergence or
+// exhaustion it is a sink: the original error is retained and Empty is
+// returned for every further poll.
 func (p *Replayer) Query(bin []int) query.Response {
 	if p.err != nil {
 		return query.Response{Kind: query.Empty}
@@ -148,11 +168,25 @@ func (p *Replayer) Query(bin []int) query.Response {
 // Traits implements query.Querier.
 func (p *Replayer) Traits() query.Traits { return p.traits }
 
-// Err reports whether the replay diverged from the recording.
+// Err returns the first divergence/exhaustion error, or nil.
 func (p *Replayer) Err() error { return p.err }
 
 // Done reports whether every recorded poll was replayed.
 func (p *Replayer) Done() bool { return p.pos == len(p.events) }
+
+// MustDone returns nil only for a clean, complete replay: no divergence
+// or exhaustion occurred and every recorded poll was consumed. It is the
+// check that keeps a diverged replay from masquerading as a successful
+// session.
+func (p *Replayer) MustDone() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.pos != len(p.events) {
+		return fmt.Errorf("trace: replay stopped after %d of %d recorded polls", p.pos, len(p.events))
+	}
+	return nil
+}
 
 func sameBin(a, b []int) bool {
 	if len(a) != len(b) {

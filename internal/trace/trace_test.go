@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"strings"
@@ -8,12 +8,13 @@ import (
 	"tcast/internal/fastsim"
 	"tcast/internal/query"
 	"tcast/internal/rng"
+	"tcast/internal/trace"
 )
 
 func TestRecorderCapturesSession(t *testing.T) {
 	r := rng.New(1)
 	ch, _ := fastsim.RandomPositives(32, 10, fastsim.DefaultConfig(), r.Split(1))
-	rec := NewRecorder(ch)
+	rec := trace.NewRecorder(ch)
 	res, err := (core.TwoTBins{}).Run(rec, 32, 8, r.Split(2))
 	if err != nil {
 		t.Fatal(err)
@@ -34,7 +35,7 @@ func TestRecorderCapturesSession(t *testing.T) {
 func TestRecorderTraitsForwarded(t *testing.T) {
 	r := rng.New(2)
 	ch, _ := fastsim.RandomPositives(8, 2, fastsim.TwoPlusConfig(), r)
-	rec := NewRecorder(ch)
+	rec := trace.NewRecorder(ch)
 	if tr := rec.Traits(); tr.Model != query.TwoPlus || !tr.CaptureEffect {
 		t.Fatalf("traits not forwarded: %+v", tr)
 	}
@@ -43,7 +44,7 @@ func TestRecorderTraitsForwarded(t *testing.T) {
 func TestRecorderBinsAreCopies(t *testing.T) {
 	r := rng.New(3)
 	ch, _ := fastsim.RandomPositives(8, 1, fastsim.DefaultConfig(), r)
-	rec := NewRecorder(ch)
+	rec := trace.NewRecorder(ch)
 	bin := []int{0, 1, 2}
 	rec.Query(bin)
 	bin[0] = 99
@@ -55,7 +56,7 @@ func TestRecorderBinsAreCopies(t *testing.T) {
 func TestSummarize(t *testing.T) {
 	r := rng.New(4)
 	ch, _ := fastsim.RandomPositives(64, 20, fastsim.DefaultConfig(), r.Split(1))
-	rec := NewRecorder(ch)
+	rec := trace.NewRecorder(ch)
 	if _, err := (core.TwoTBins{}).Run(rec, 64, 8, r.Split(2)); err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestSummarize(t *testing.T) {
 func TestRenderFormat(t *testing.T) {
 	r := rng.New(5)
 	ch := fastsim.New(12, []int{3}, fastsim.TwoPlusConfig(), r)
-	rec := NewRecorder(ch)
+	rec := trace.NewRecorder(ch)
 	rec.Query([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}) // decodes node 3
 	rec.Query([]int{0, 1})                                 // empty
 	out := rec.Render()
@@ -98,7 +99,7 @@ func TestRenderFormat(t *testing.T) {
 func TestReset(t *testing.T) {
 	r := rng.New(6)
 	ch, _ := fastsim.RandomPositives(8, 2, fastsim.DefaultConfig(), r)
-	rec := NewRecorder(ch)
+	rec := trace.NewRecorder(ch)
 	rec.Query([]int{0})
 	rec.Reset()
 	if rec.Len() != 0 {
@@ -113,13 +114,13 @@ func TestReplayRoundTrip(t *testing.T) {
 	for _, algSeed := range []uint64{7, 8, 9, 10} {
 		root := rng.New(algSeed)
 		ch, _ := fastsim.RandomPositives(64, 12, fastsim.DefaultConfig(), root.Split(1))
-		rec := NewRecorder(ch)
+		rec := trace.NewRecorder(ch)
 		want, err := (core.ABNS{P0: 1}).Run(rec, 64, 8, root.Split(2))
 		if err != nil {
 			t.Fatal(err)
 		}
 
-		rep := NewReplayer(rec.Events(), rec.Traits())
+		rep := trace.NewReplayer(rec.Events(), rec.Traits())
 		got, err := (core.ABNS{P0: 1}).Run(rep, 64, 8, rng.New(algSeed).Split(2))
 		if err != nil {
 			t.Fatal(err)
@@ -137,8 +138,8 @@ func TestReplayRoundTrip(t *testing.T) {
 }
 
 func TestReplayDetectsDivergence(t *testing.T) {
-	events := []Event{{Index: 0, Bin: []int{1, 2}, Response: query.Response{Kind: query.Empty}}}
-	rep := NewReplayer(events, query.Traits{})
+	events := []trace.Event{{Index: 0, Bin: []int{1, 2}, Response: query.Response{Kind: query.Empty}}}
+	rep := trace.NewReplayer(events, query.Traits{})
 	rep.Query([]int{3, 4})
 	if rep.Err() == nil {
 		t.Fatal("divergent bin not detected")
@@ -146,9 +147,44 @@ func TestReplayDetectsDivergence(t *testing.T) {
 }
 
 func TestReplayDetectsExhaustion(t *testing.T) {
-	rep := NewReplayer(nil, query.Traits{})
+	rep := trace.NewReplayer(nil, query.Traits{})
 	rep.Query([]int{1})
 	if rep.Err() == nil {
 		t.Fatal("exhausted replay not detected")
+	}
+}
+
+// TestMustDone covers the three verdicts: clean complete replay → nil,
+// early stop → error, and diverged replay → the *first* error is kept even
+// after further polls.
+func TestMustDone(t *testing.T) {
+	events := []trace.Event{
+		{Index: 0, Bin: []int{1}, Response: query.Response{Kind: query.Empty}},
+		{Index: 1, Bin: []int{2}, Response: query.Response{Kind: query.Active}},
+	}
+
+	rep := trace.NewReplayer(events, query.Traits{})
+	rep.Query([]int{1})
+	rep.Query([]int{2})
+	if err := rep.MustDone(); err != nil {
+		t.Errorf("clean replay: MustDone = %v", err)
+	}
+
+	rep = trace.NewReplayer(events, query.Traits{})
+	rep.Query([]int{1})
+	if err := rep.MustDone(); err == nil {
+		t.Error("early stop: MustDone = nil, want error")
+	}
+
+	rep = trace.NewReplayer(events, query.Traits{})
+	rep.Query([]int{9}) // diverges at poll 0
+	first := rep.Err()
+	rep.Query([]int{2}) // would match poll 1, but replay is already a sink
+	rep.Query([]int{3})
+	if rep.Err() != first {
+		t.Errorf("later polls replaced the first error: %v -> %v", first, rep.Err())
+	}
+	if err := rep.MustDone(); err != first {
+		t.Errorf("diverged: MustDone = %v, want first error %v", err, first)
 	}
 }
