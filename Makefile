@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench tcastbench figs lab cover fuzz clean
+.PHONY: all build test race bench tcastbench bench-smoke baseline figs lab cover fuzz clean
 
 all: build test
 
@@ -25,6 +25,16 @@ bench:
 #   go run ./cmd/tcastbench -input BENCH.json -baseline BENCH.baseline.json
 tcastbench:
 	$(GO) run ./cmd/tcastbench -out BENCH.json
+
+# The CI smoke subset: micro-benchmarks plus the analytic figures.
+bench-smoke:
+	$(GO) run ./cmd/tcastbench -short -out BENCH.json
+
+# Regenerate the committed perf baseline. Run the full suite on a quiet
+# machine, eyeball the diff against the previous baseline, and commit the
+# result (see EXPERIMENTS.md, "Refreshing the perf baseline").
+baseline:
+	$(GO) run ./cmd/tcastbench -out BENCH.baseline.json
 
 # Regenerate every table and figure at paper-scale trial counts.
 figs:

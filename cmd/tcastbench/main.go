@@ -30,6 +30,7 @@ import (
 	"strings"
 	"testing"
 
+	"tcast/internal/audit"
 	"tcast/internal/baseline"
 	"tcast/internal/bitset"
 	"tcast/internal/core"
@@ -320,6 +321,7 @@ func benches() []bench {
 	}
 	out = append(out,
 		algBench("query-2tbins", core.TwoTBins{}, 128, 16, 16, fastsim.DefaultConfig()),
+		auditBench("query-2tbins-audited", 128, 16, 16),
 		algBench("query-2tbins-2plus", core.TwoTBins{}, 128, 16, 16, fastsim.TwoPlusConfig()),
 		algBench("query-expincrease", core.ExpIncrease{}, 128, 16, 16, fastsim.DefaultConfig()),
 		algBench("query-probabns", core.ProbABNS{}, 128, 16, 16, fastsim.DefaultConfig()),
@@ -355,6 +357,55 @@ func algBench(name string, alg core.Algorithm, n, t, x int, cfg fastsim.Config) 
 			if _, err := alg.Run(sq, n, t, r.Split(2)); err != nil {
 				return 0, 0, err
 			}
+			sq.EndSession()
+			a := trace.Analyze(tb.Trace())
+			return int64(a.Polls), a.Slots, nil
+		},
+	}
+}
+
+// auditBench times the same session as query-2tbins with the ground-truth
+// auditor stacked on the channel, so the grading overhead per session is
+// the delta between the two entries.
+func auditBench(name string, n, t, x int) bench {
+	cfg := fastsim.DefaultConfig()
+	return bench{
+		name:  name,
+		short: true,
+		fn: func(b *testing.B) {
+			root := rng.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := root.Split(uint64(i))
+				ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+				aud, err := audit.New(ch, audit.Config{N: n, T: t})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := (core.TwoTBins{}).Run(aud, n, t, r.Split(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v := aud.Finish(res.Decision); !v.Correct() {
+					b.Fatalf("lossless session graded %v", v.Outcome)
+				}
+			}
+		},
+		traced: func() (int64, int64, error) {
+			r := rng.New(1).Split(0)
+			ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+			aud, err := audit.New(ch, audit.Config{N: n, T: t})
+			if err != nil {
+				return 0, 0, err
+			}
+			tb := trace.NewBuilder()
+			sq := trace.NewSpanQuerier(aud, tb)
+			sq.StartSession("2tBins audited")
+			res, err := (core.TwoTBins{}).Run(sq, n, t, r.Split(2))
+			if err != nil {
+				return 0, 0, err
+			}
+			aud.Finish(res.Decision)
 			sq.EndSession()
 			a := trace.Analyze(tb.Trace())
 			return int64(a.Polls), a.Slots, nil

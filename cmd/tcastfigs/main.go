@@ -16,6 +16,7 @@
 //	tcastfigs -fig all -metrics m.prom        # Prometheus text format (by extension)
 //	tcastfigs -fig all -metrics-addr :9090    # scrapeable /metrics endpoint during the run
 //	tcastfigs -fig all -pprof profiles/       # CPU + heap profiles of the run
+//	tcastfigs -fig all -audit                 # grade every session against ground truth
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"tcast/internal/audit"
 	"tcast/internal/experiment"
 	"tcast/internal/metrics"
 	"tcast/internal/trace"
@@ -43,6 +45,7 @@ func main() {
 		out     = flag.String("out", "", "directory to write per-experiment files into (stdout if empty)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 
+		doAudit     = flag.Bool("audit", false, "grade every session against ground truth and print the audit summary; serializes trials")
 		traceOut    = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the run to this file; serializes trials")
 		metricsOut  = flag.String("metrics", "", "dump run metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
 		metricsAddr = flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address during the run")
@@ -100,7 +103,12 @@ func main() {
 		)
 	}
 
-	opts := experiment.Options{Runs: *runs, Seed: *seed, Metrics: reg, Trace: builder}
+	var col *audit.Collector
+	if *doAudit {
+		col = &audit.Collector{}
+	}
+
+	opts := experiment.Options{Runs: *runs, Seed: *seed, Metrics: reg, Trace: builder, Audit: col}
 	for _, e := range exps {
 		start := time.Now()
 		if builder != nil {
@@ -151,6 +159,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(header, "wrote ", path, "\n")
+	}
+	if col != nil {
+		fmt.Print(col.Summary())
 	}
 	if *metricsOut != "" {
 		if err := metrics.DumpToPath(reg, *metricsOut); err != nil {

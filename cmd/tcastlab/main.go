@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"tcast/internal/audit"
 	"tcast/internal/metrics"
 	"tcast/internal/motelab"
 	"tcast/internal/trace"
@@ -29,6 +30,7 @@ func main() {
 		badMiss      = flag.Float64("badmiss", 0.5, "the degraded mote's loss probability")
 		seed         = flag.Uint64("seed", 2011, "random seed")
 
+		doAudit    = flag.Bool("audit", false, "grade every emulated session by replay against the configured truth and print the audit summary")
 		traceOut   = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the campaign to this file")
 		metricsOut = flag.String("metrics", "", "dump campaign metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
 		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the campaign into this directory")
@@ -64,7 +66,12 @@ func main() {
 		builder.Begin(trace.KindExperiment, "tcastlab")
 	}
 
-	cfg := motelab.Config{Participants: *participants, MissProb: *miss, Seed: *seed, Metrics: reg, Trace: builder}
+	var col *audit.Collector
+	if *doAudit {
+		col = &audit.Collector{}
+	}
+
+	cfg := motelab.Config{Participants: *participants, MissProb: *miss, Seed: *seed, Metrics: reg, Trace: builder, Audit: col}
 	if *badMote >= 0 {
 		if *badMote >= *participants {
 			fatal(fmt.Errorf("badmote %d outside 0..%d", *badMote, *participants-1))
@@ -117,6 +124,11 @@ func main() {
 				fmt.Printf("  mote %2d: %4d%s\n", id, agg.MissedByMote[id], marker)
 			}
 		}
+	}
+
+	if col != nil {
+		fmt.Println()
+		fmt.Print(col.Summary())
 	}
 
 	if *metricsOut != "" {

@@ -20,6 +20,7 @@ import (
 	"net"
 	"os"
 
+	"tcast/internal/audit"
 	"tcast/internal/metrics"
 	"tcast/internal/mote"
 	"tcast/internal/radio"
@@ -39,6 +40,7 @@ func main() {
 		runs         = flag.Int("runs", 20, "queries to run (controller mode)")
 		seed         = flag.Uint64("seed", 2011, "random seed")
 
+		doAudit    = flag.Bool("audit", false, "controller mode: grade each decision against the configured -x truth (the wire protocol carries no polls, so wrong decisions stay unattributed)")
 		traceOut   = flag.String("trace", "", "controller mode: write a structured span trace (JSONL, virtual time) of the runs to this file")
 		metricsOut = flag.String("metrics", "", "controller mode: dump session metrics to this file at exit ('-' = stdout, .prom = Prometheus format)")
 		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
@@ -63,7 +65,12 @@ func main() {
 			fatal(err)
 		}
 	case *connect != "" && *serve == "":
-		if err := runController(*connect, *threshold, *runs, *metricsOut, *traceOut); err != nil {
+		truth := (*bool)(nil)
+		if *doAudit {
+			v := *x >= *threshold
+			truth = &v
+		}
+		if err := runController(*connect, *threshold, *runs, *metricsOut, *traceOut, truth); err != nil {
 			fatal(err)
 		}
 	default:
@@ -122,7 +129,9 @@ func runServer(addr string, participants int, miss float64, x int, seed uint64) 
 // controller cannot see individual polls over the wire protocol, only the
 // session totals the initiator reports. With traceOut set it renders each
 // run as a session span at backcast cost (3 RCD slots per group query).
-func runController(addr string, threshold, runs int, metricsOut, traceOut string) error {
+// With truth non-nil it grades every decision against that expected
+// answer; lacking polls, wrong decisions are counted but unattributed.
+func runController(addr string, threshold, runs int, metricsOut, traceOut string, truth *bool) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -146,6 +155,10 @@ func runController(addr string, threshold, runs int, metricsOut, traceOut string
 	}
 	if err := c.ConfigureInitiator(threshold); err != nil {
 		return err
+	}
+	var col *audit.Collector
+	if truth != nil {
+		col = &audit.Collector{}
 	}
 	trueCount, totalQueries := 0, 0
 	for i := 0; i < runs; i++ {
@@ -176,10 +189,16 @@ func runController(addr string, threshold, runs int, metricsOut, traceOut string
 			)
 			builder.End()
 		}
+		if col != nil {
+			col.AddDecision(fmt.Sprintf("run=%d", i+1), decision, *truth)
+		}
 		fmt.Printf("run %2d: decision=%-5v queries=%-3d rounds=%d\n", i+1, decision, queries, rounds)
 	}
 	fmt.Printf("\n%d/%d runs answered true (t=%d); %.1f queries per run\n",
 		trueCount, runs, threshold, float64(totalQueries)/float64(runs))
+	if col != nil {
+		fmt.Print(col.Summary())
+	}
 	if builder != nil {
 		if err := trace.WriteFile(traceOut, builder.Trace()); err != nil {
 			return err

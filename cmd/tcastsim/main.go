@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 
+	"tcast/internal/audit"
 	"tcast/internal/baseline"
 	"tcast/internal/bitset"
 	"tcast/internal/core"
@@ -29,15 +30,16 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 128, "participant nodes")
-		t     = flag.Int("t", 16, "threshold")
-		x     = flag.Int("x", 8, "ground-truth positive nodes")
-		alg   = flag.String("alg", "2tbins", "algorithm: 2tbins | exp | abns-t | abns-2t | probabns | oracle | csma | seq")
-		model = flag.String("model", "1+", "collision model: 1+ | 2+")
-		runs  = flag.Int("runs", 1000, "number of trials")
-		seed  = flag.Uint64("seed", 2011, "root random seed")
-		miss  = flag.Float64("miss", 0, "per-reply miss probability (radio irregularity)")
-		dump  = flag.Bool("dump", false, "print a poll-by-poll trace of one session before the sweep")
+		n       = flag.Int("n", 128, "participant nodes")
+		t       = flag.Int("t", 16, "threshold")
+		x       = flag.Int("x", 8, "ground-truth positive nodes")
+		alg     = flag.String("alg", "2tbins", "algorithm: 2tbins | exp | abns-t | abns-2t | probabns | oracle | csma | seq")
+		model   = flag.String("model", "1+", "collision model: 1+ | 2+")
+		runs    = flag.Int("runs", 1000, "number of trials")
+		seed    = flag.Uint64("seed", 2011, "root random seed")
+		miss    = flag.Float64("miss", 0, "per-reply miss probability (radio irregularity)")
+		dump    = flag.Bool("dump", false, "print a poll-by-poll trace of one session before the sweep")
+		doAudit = flag.Bool("audit", false, "grade every session against ground truth and print the audit summary (tcast algorithms only)")
 
 		traceOut   = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the whole sweep to this file")
 		metricsOut = flag.String("metrics", "", "dump per-poll metrics to this file after the sweep ('-' = stdout, .prom = Prometheus format)")
@@ -85,7 +87,11 @@ func main() {
 		)
 	}
 
-	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, reg, builder)
+	var col *audit.Collector
+	if *doAudit {
+		col = &audit.Collector{}
+	}
+	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, reg, builder, col)
 	if err != nil {
 		fatal(err)
 	}
@@ -119,6 +125,9 @@ func main() {
 		acc.Mean(), acc.CI95(), acc.Min(), acc.Max())
 	fmt.Printf("quantiles: p50=%.0f p90=%.0f p99=%.0f\n",
 		stats.Quantile(values, 0.5), stats.Quantile(values, 0.9), stats.Quantile(values, 0.99))
+	if col != nil {
+		fmt.Print(col.Summary())
+	}
 	if *metricsOut != "" {
 		if err := metrics.DumpToPath(reg, *metricsOut); err != nil {
 			fatal(err)
@@ -131,8 +140,10 @@ func main() {
 // the CSMA/sequential baselines have no group polls to instrument. A
 // non-nil builder renders each trial as virtual-time spans (and forces the
 // caller to run trials sequentially — the builder is not concurrency-safe).
-func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Registry, b *trace.Builder) (func(r *rng.Source) (float64, error), string, error) {
-	trialN := 0 // span numbering; only touched when b != nil (sequential)
+// A non-nil collector grades every tcast session against the channel's
+// ground truth.
+func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Registry, b *trace.Builder, col *audit.Collector) (func(r *rng.Source) (float64, error), string, error) {
+	trialN := 0 // span/label numbering; trials run sequentially here
 	baselineTrial := func(scheme string, run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(r *rng.Source) (float64, error) {
 		return func(r *rng.Source) (float64, error) {
 			pos := bitset.New(n)
@@ -173,10 +184,16 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 	case "oracle":
 		fac, name = func(ch *fastsim.Channel) core.Algorithm { return core.Oracle{Truth: ch} }, "Oracle"
 	case "csma":
+		if col != nil {
+			return nil, "", fmt.Errorf("-audit grades group-poll sessions; csma has none")
+		}
 		return baselineTrial("csma", func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result {
 			return baseline.CSMA{}.Run(n, t, pos, r)
 		}), "CSMA", nil
 	case "seq":
+		if col != nil {
+			return nil, "", fmt.Errorf("-audit grades group-poll sessions; seq has none")
+		}
 		return baselineTrial("sequential", func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result {
 			return baseline.Sequential{}.Run(n, t, pos, r)
 		}), "Sequential", nil
@@ -187,16 +204,29 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
 		a := fac(ch)
 		q := metrics.Wrap(ch, reg)
+		var aud *audit.Auditor
+		if col != nil {
+			var err error
+			aud, err = audit.New(q, audit.Config{N: n, T: t, Metrics: reg})
+			if err != nil {
+				return 0, err
+			}
+			q = aud
+		}
 		var sq *trace.SpanQuerier
 		if b != nil {
 			b.Begin(trace.KindTrial, "trial "+strconv.Itoa(trialN))
-			trialN++
 			sq = trace.NewSpanQuerier(q, b)
 			sq.StartSession(a.Name(),
 				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
 			q = sq
 		}
 		res, err := a.Run(q, n, t, r.Split(2))
+		if aud != nil && err == nil {
+			// Finish before EndSession so the verdict annotates the span.
+			col.Add(fmt.Sprintf("%s/trial=%d", name, trialN), aud.Finish(res.Decision))
+		}
+		trialN++
 		if sq != nil {
 			if err == nil {
 				sq.EndSession(

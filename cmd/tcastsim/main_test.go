@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"tcast/internal/audit"
 	"tcast/internal/fastsim"
 	"tcast/internal/metrics"
 	"tcast/internal/rng"
@@ -20,7 +21,7 @@ func TestBuildTrialAllAlgorithms(t *testing.T) {
 		"csma":     "CSMA",
 		"seq":      "Sequential",
 	} {
-		trial, name, err := buildTrial(alg, 32, 8, 10, cfg, metrics.New(), nil)
+		trial, name, err := buildTrial(alg, 32, 8, 10, cfg, metrics.New(), nil, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -38,13 +39,43 @@ func TestBuildTrialAllAlgorithms(t *testing.T) {
 }
 
 func TestBuildTrialUnknownAlgorithm(t *testing.T) {
-	if _, _, err := buildTrial("nope", 32, 8, 10, fastsim.DefaultConfig(), nil, nil); err == nil {
+	if _, _, err := buildTrial("nope", 32, 8, 10, fastsim.DefaultConfig(), nil, nil, nil); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
+func TestBuildTrialAudited(t *testing.T) {
+	col := &audit.Collector{}
+	trial, _, err := buildTrial("2tbins", 32, 8, 10, fastsim.DefaultConfig(), nil, nil, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := trial(rng.New(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := col.Stats()
+	if s.Sessions != 5 {
+		t.Fatalf("graded %d sessions, want 5", s.Sessions)
+	}
+	// Lossless fastsim: every session correct, zero violations.
+	if s.Outcomes[audit.OutcomeCorrect] != 5 || s.Violations() != 0 {
+		t.Fatalf("lossless audit stats: %+v", s)
+	}
+}
+
+func TestBuildTrialAuditRejectsBaselines(t *testing.T) {
+	col := &audit.Collector{}
+	for _, alg := range []string{"csma", "seq"} {
+		if _, _, err := buildTrial(alg, 32, 8, 10, fastsim.DefaultConfig(), nil, nil, col); err == nil {
+			t.Fatalf("%s accepted -audit", alg)
+		}
+	}
+}
+
 func TestBuildTrialDeterministic(t *testing.T) {
-	trial, _, err := buildTrial("2tbins", 64, 8, 12, fastsim.DefaultConfig(), nil, nil)
+	trial, _, err := buildTrial("2tbins", 64, 8, 12, fastsim.DefaultConfig(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,200 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"tcast/internal/query"
+)
+
+// WrongDecision names one wrongly-decided session and its causal poll —
+// the row format of the accuracy-breakdown table.
+type WrongDecision struct {
+	// Session labels the session (algorithm, parameters, trial index).
+	Session string
+	Outcome Outcome
+	// CausalPoll is the index of the first unsound poll explaining the
+	// error, -1 when unattributed.
+	CausalPoll  int
+	CausalClass Class
+}
+
+// Collector aggregates verdicts across a campaign. It is safe for
+// concurrent Add calls (the experiment harness serializes audited runs for
+// deterministic output, but command-line use may not).
+type Collector struct {
+	mu         sync.Mutex
+	sessions   int
+	polls      int
+	outcomes   [NumOutcomes]int
+	classes    [NumClasses]int
+	invariants [NumInvariants]int
+	wrong      []WrongDecision
+}
+
+// Add folds one session's verdict into the collector.
+func (c *Collector) Add(session string, v Verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sessions++
+	c.polls += v.Polls
+	c.outcomes[v.Outcome]++
+	for class, n := range v.Classes {
+		c.classes[class] += n
+	}
+	for _, viol := range v.Violations {
+		c.invariants[viol.Invariant]++
+	}
+	if v.Outcome != OutcomeCorrect {
+		c.wrong = append(c.wrong, WrongDecision{
+			Session: session, Outcome: v.Outcome,
+			CausalPoll: v.CausalPoll, CausalClass: v.CausalClass,
+		})
+	}
+}
+
+// AddDecision grades a session from its decision alone — the wire-only
+// path (cmd/tcastmote's controller cannot see the remote initiator's
+// polls). Wrong decisions are counted but necessarily unattributed.
+func (c *Collector) AddDecision(session string, decision, truth bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sessions++
+	if decision == truth {
+		c.outcomes[OutcomeCorrect]++
+		return
+	}
+	c.outcomes[OutcomeWrongUnattributed]++
+	c.wrong = append(c.wrong, WrongDecision{
+		Session: session, Outcome: OutcomeWrongUnattributed, CausalPoll: -1,
+	})
+}
+
+// Stats is a consistent snapshot of a Collector.
+type Stats struct {
+	Sessions   int
+	Polls      int
+	Outcomes   [NumOutcomes]int
+	Classes    [NumClasses]int
+	Invariants [NumInvariants]int
+	// Wrong lists every wrongly-decided session in insertion order.
+	Wrong []WrongDecision
+}
+
+// Stats returns a snapshot.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Sessions:   c.sessions,
+		Polls:      c.polls,
+		Outcomes:   c.outcomes,
+		Classes:    c.classes,
+		Invariants: c.invariants,
+		Wrong:      append([]WrongDecision(nil), c.wrong...),
+	}
+}
+
+// Violations returns the total invariant breaches.
+func (s Stats) Violations() int {
+	total := 0
+	for _, n := range s.Invariants {
+		total += n
+	}
+	return total
+}
+
+// Accuracy returns the fraction of correctly-decided sessions (1 when no
+// session was graded).
+func (s Stats) Accuracy() float64 {
+	if s.Sessions == 0 {
+		return 1
+	}
+	return float64(s.Outcomes[OutcomeCorrect]) / float64(s.Sessions)
+}
+
+// maxWrongListed bounds the wrong-decision rows Summary prints; the full
+// list stays available via Stats.
+const maxWrongListed = 20
+
+// Summary renders the campaign's accuracy breakdown as a text block — the
+// audit counterpart of the metrics dump.
+func (c *Collector) Summary() string {
+	s := c.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d sessions, %d polls, accuracy %.2f%%\n",
+		s.Sessions, s.Polls, 100*s.Accuracy())
+	fmt.Fprintf(&b, "  outcomes:")
+	for o := Outcome(0); int(o) < NumOutcomes; o++ {
+		fmt.Fprintf(&b, " %s=%d", o, s.Outcomes[o])
+	}
+	fmt.Fprintf(&b, "\n  poll classes:")
+	for cl := Class(0); int(cl) < NumClasses; cl++ {
+		fmt.Fprintf(&b, " %s=%d", cl, s.Classes[cl])
+	}
+	fmt.Fprintf(&b, "\n  invariant violations: %d", s.Violations())
+	if s.Violations() > 0 {
+		for i := Invariant(0); int(i) < NumInvariants; i++ {
+			if s.Invariants[i] > 0 {
+				fmt.Fprintf(&b, " %s=%d", i, s.Invariants[i])
+			}
+		}
+	}
+	b.WriteByte('\n')
+	if len(s.Wrong) > 0 {
+		fmt.Fprintf(&b, "  wrong decisions:\n")
+		for i, w := range s.Wrong {
+			if i == maxWrongListed {
+				fmt.Fprintf(&b, "    ... and %d more\n", len(s.Wrong)-maxWrongListed)
+				break
+			}
+			if w.CausalPoll >= 0 {
+				fmt.Fprintf(&b, "    %s: %s, causal poll %d (%s)\n",
+					w.Session, w.Outcome, w.CausalPoll, w.CausalClass)
+			} else {
+				fmt.Fprintf(&b, "    %s: %s, no causal poll\n", w.Session, w.Outcome)
+			}
+		}
+	}
+	return b.String()
+}
+
+// ReplayPoll is one recorded poll of a session graded after the fact.
+type ReplayPoll struct {
+	Bin  []int
+	Resp query.Response
+}
+
+// GradeReplay grades a finished session from its poll record — the path
+// for substrates that cannot host the middleware (the emulated mote
+// testbed replays the initiator's poll log). It applies exactly the same
+// classification and attribution as the live Auditor; it does not check
+// Knowledge invariants or fill slot ledgers, because the replay does not
+// carry the initiator's internal state.
+func GradeReplay(t, trueX int, truth Truth, traits query.Traits, polls []ReplayPoll, decision bool) Verdict {
+	v := Verdict{
+		Decision:   decision,
+		Truth:      trueX >= t,
+		TrueX:      trueX,
+		CausalPoll: -1,
+		Polls:      len(polls),
+	}
+	recs := make([]PollRecord, len(polls))
+	for i, p := range polls {
+		k := 0
+		for _, id := range p.Bin {
+			if truth.IsPositive(id) {
+				k++
+			}
+		}
+		class := classify(p.Bin, p.Resp, traits, truth, k)
+		recs[i] = PollRecord{BinSize: len(p.Bin), Kind: p.Resp.Kind, TruePositives: k, Class: class}
+		v.Classes[class]++
+	}
+	v.Outcome, v.CausalPoll = attribute(decision, v.Truth, recs)
+	if v.CausalPoll >= 0 {
+		v.CausalClass = recs[v.CausalPoll].Class
+	}
+	return v
+}

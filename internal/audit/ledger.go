@@ -1,0 +1,48 @@
+package audit
+
+import (
+	"tcast/internal/energy"
+	"tcast/internal/timing"
+)
+
+// This file is the channel-accounting half of the auditor: every poll is
+// charged to the nodes it occupied, in slots, from the auditor's
+// ground-truth vantage point. The analytical models in internal/energy
+// assume a schedule; the ledger instead bills what each radio actually did
+// in the audited session — which bins a node was polled in and whether it
+// truly replied — and energy.ObservedSession prices the slots.
+
+// account charges one poll: the initiator broadcasts the poll (tx) and
+// listens through the reply window (rx); every bin member receives the
+// poll (rx) and then either replies (tx, true positives) or idle-listens
+// through the reply window (negatives). Nodes outside the bin sleep and
+// are charged nothing.
+func (a *Auditor) account(bin []int) {
+	a.initiator.Tx++
+	a.initiator.Rx++
+	for _, id := range bin {
+		if id < 0 || id >= len(a.nodes) {
+			continue
+		}
+		l := &a.nodes[id]
+		l.Rx++
+		if a.truth.IsPositive(id) {
+			l.Tx++
+		} else {
+			l.Idle++
+		}
+	}
+}
+
+// Energy prices the verdict's slot ledgers with the 802.15.4 air times:
+// poll frames on the downlink, ACK-length replies on the uplink, and the
+// reply window for idle listening. The initiator's tx slots are poll
+// broadcasts while a participant's are replies, so the two sides are
+// priced separately.
+func (v Verdict) Energy(m energy.Model) energy.Report {
+	pollAir := timing.FrameAirtime(3)
+	ackAir := timing.AckAirtime()
+	rep := energy.ObservedSession(m, ackAir, pollAir, ackAir, energy.SlotLedger{}, v.Nodes)
+	rep.Initiator = energy.ObservedSession(m, pollAir, ackAir, ackAir, v.Initiator, nil).Initiator
+	return rep
+}

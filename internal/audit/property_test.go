@@ -1,0 +1,76 @@
+package audit_test
+
+import (
+	"testing"
+
+	"tcast/internal/audit"
+	"tcast/internal/core"
+	"tcast/internal/fastsim"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+)
+
+// TestLosslessBoundsProperty is the Knowledge soundness property test: on a
+// lossless substrate every algorithm's Knowledge must satisfy
+// LowerBound <= true x <= UpperBound after every poll, keep Confirmed and
+// the candidate set monotone, poll only candidates — and decide correctly.
+// The auditor checks all of that per poll, so the property reduces to "zero
+// violations and a correct outcome" across randomized n/t/x grids, all
+// three lossless channel configurations, and every tcast algorithm
+// (BimodalDetector is estimation-only and carries no Knowledge).
+func TestLosslessBoundsProperty(t *testing.T) {
+	const trials = 45
+	root := rng.New(0xA0D17)
+	for trial := 0; trial < trials; trial++ {
+		r := root.Split(uint64(trial))
+		n := 2 + int(r.Intn(120))
+		th := 1 + int(r.Intn(n))
+		x := int(r.Intn(n + 1))
+
+		var cfg fastsim.Config
+		var cfgName string
+		switch trial % 3 {
+		case 0:
+			cfg, cfgName = fastsim.DefaultConfig(), "1+"
+		case 1:
+			cfg, cfgName = fastsim.TwoPlusConfig(), "2+capture"
+		case 2:
+			// The idealized 2+ radio: a decode proves a singleton bin.
+			cfg = fastsim.Config{Model: query.TwoPlus, Capture: fastsim.NoCapture()}
+			cfgName = "2+ideal"
+		}
+		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+
+		algorithms := []core.Algorithm{
+			core.TwoTBins{},
+			core.ExpIncrease{},
+			core.ExpIncrease{Variant: core.ExpPauseAndContinue},
+			core.ABNS{P0: 1},
+			core.ABNS{P0: 2},
+			core.ProbABNS{},
+			core.Oracle{Truth: ch},
+		}
+		for ai, alg := range algorithms {
+			aud, err := audit.New(ch, audit.Config{N: n, T: th})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !aud.Lossless() {
+				t.Fatalf("%s channel not detected as lossless", cfgName)
+			}
+			res, err := alg.Run(aud, n, th, r.Split(uint64(2+ai)))
+			if err != nil {
+				t.Fatalf("%s n=%d t=%d x=%d cfg=%s: %v", alg.Name(), n, th, x, cfgName, err)
+			}
+			v := aud.Finish(res.Decision)
+			if len(v.Violations) != 0 {
+				t.Errorf("%s n=%d t=%d x=%d cfg=%s: invariant violations %v",
+					alg.Name(), n, th, x, cfgName, v.Violations)
+			}
+			if v.Outcome != audit.OutcomeCorrect {
+				t.Errorf("%s n=%d t=%d x=%d cfg=%s: outcome %v (decision=%v truth=%v)",
+					alg.Name(), n, th, x, cfgName, v.Outcome, v.Decision, v.Truth)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package audit_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tcast/internal/audit"
+	"tcast/internal/core"
+	"tcast/internal/fastsim"
+	"tcast/internal/metrics"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+	"tcast/internal/trace"
+)
+
+// buildOrder assembles the three observability layers over a fresh lossless
+// fastsim channel in the given inner-to-outer order ('M' metrics, 'A' audit,
+// 'S' span recorder) and runs one 2tBins session through the stack.
+func buildOrder(t *testing.T, order string, seed uint64) (core.Result, *metrics.Registry, *trace.Trace, audit.Verdict) {
+	t.Helper()
+	r := rng.New(seed)
+	ch, _ := fastsim.RandomPositives(64, 12, fastsim.DefaultConfig(), r.Split(1))
+	reg := metrics.New()
+	b := trace.NewBuilder()
+
+	var q query.Querier = ch
+	var aud *audit.Auditor
+	var sq *trace.SpanQuerier
+	for _, layer := range order {
+		switch layer {
+		case 'M':
+			q = metrics.Wrap(q, reg)
+		case 'A':
+			var err error
+			aud, err = audit.New(q, audit.Config{N: 64, T: 8, Metrics: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q = aud
+		case 'S':
+			sq = trace.NewSpanQuerier(q, b)
+			q = sq
+		}
+	}
+	sq.StartSession("2tBins")
+	res, err := (core.TwoTBins{}).Run(q, 64, 8, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := aud.Finish(res.Decision)
+	sq.EndSession(trace.IntAttr("queries", res.Queries))
+	metrics.FinishSession(q)
+	return res, reg, b.Trace(), v
+}
+
+// TestThreeLayerStackOrderIndependent extends the two-layer composition
+// contract to the full observability stack: metrics, audit, and span
+// recording must each see every poll exactly once, agree on the session's
+// numbers, and leave the algorithm's result bit-identical to a bare run —
+// in all six stacking orders.
+func TestThreeLayerStackOrderIndependent(t *testing.T) {
+	const seed = 43
+
+	// Reference run with no middleware at all.
+	r := rng.New(seed)
+	ch, _ := fastsim.RandomPositives(64, 12, fastsim.DefaultConfig(), r.Split(1))
+	bare, err := (core.TwoTBins{}).Run(ch, 64, 8, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orders := []string{"MAS", "MSA", "AMS", "ASM", "SMA", "SAM"}
+	var firstVerdict audit.Verdict
+	// Session-span attributes depend on which annotators sit below the
+	// span layer, so traces are only bit-identical within the two groups.
+	traces := map[bool]*trace.Trace{}
+	for i, order := range orders {
+		res, reg, tr, v := buildOrder(t, order, seed)
+
+		if res != bare {
+			t.Errorf("%s: result %+v diverges from bare %+v", order, res, bare)
+		}
+
+		// Metrics count each poll and session exactly once.
+		var polls int64
+		for k := query.Kind(0); int(k) < query.NumKinds; k++ {
+			polls += reg.Counter(metrics.MetricPolls, "kind", k.String()).Value()
+		}
+		if polls != int64(bare.Queries) {
+			t.Errorf("%s: metrics polls = %d, want %d", order, polls, bare.Queries)
+		}
+		if got := reg.Counter(metrics.MetricSessions).Value(); got != 1 {
+			t.Errorf("%s: sessions = %d, want 1", order, got)
+		}
+
+		// The audit class partition covers the same polls exactly once.
+		var classSum int64
+		for c := audit.Class(0); int(c) < audit.NumClasses; c++ {
+			classSum += reg.Counter(audit.MetricAuditPolls, "class", c.String()).Value()
+		}
+		if classSum != int64(bare.Queries) {
+			t.Errorf("%s: audit class counters sum to %d, want %d", order, classSum, bare.Queries)
+		}
+
+		// The span layer records each poll exactly once.
+		if a := trace.Analyze(tr); a.Polls != bare.Queries {
+			t.Errorf("%s: trace polls = %d, want %d", order, a.Polls, bare.Queries)
+		}
+
+		// The verdict: lossless substrate, sound algorithm.
+		if v.Outcome != audit.OutcomeCorrect || v.Polls != bare.Queries || len(v.Violations) != 0 {
+			t.Errorf("%s: verdict = %+v, want correct/%d polls/no violations", order, v, bare.Queries)
+		}
+		if i == 0 {
+			firstVerdict = v
+		} else if v.TrueX != firstVerdict.TrueX || v.Classes != firstVerdict.Classes ||
+			v.Initiator != firstVerdict.Initiator || !reflect.DeepEqual(v.Nodes, firstVerdict.Nodes) {
+			t.Errorf("%s: verdict differs from %s's:\n%+v\nvs\n%+v", order, orders[0], v, firstVerdict)
+		}
+
+		// The session span carries the audit attributes exactly when the
+		// auditor sits below the span layer (EndSession collects annotators
+		// from the layers it wraps).
+		audBelowSpan := strings.IndexByte(order, 'A') < strings.IndexByte(order, 'S')
+		found := false
+		for _, root := range tr.Roots {
+			root.Walk(func(_ int, sp *trace.Span) {
+				if _, ok := sp.Attr("audit_outcome"); ok {
+					found = true
+				}
+			})
+		}
+		if found != audBelowSpan {
+			t.Errorf("%s: audit span attrs present=%v, want %v", order, found, audBelowSpan)
+		}
+		if prev, ok := traces[audBelowSpan]; !ok {
+			traces[audBelowSpan] = tr
+		} else if d := trace.Diff(prev, tr); !d.Identical {
+			t.Errorf("%s: trace differs within its group: %s", order, d)
+		}
+	}
+}

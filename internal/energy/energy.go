@@ -76,6 +76,48 @@ func (r Report) Total() float64 {
 	return total
 }
 
+// SlotLedger counts one node's radio states over a session, in slots. The
+// audit layer fills one ledger per node from the polls it actually
+// observed; ObservedSession then prices the slots, replacing the analytical
+// session models below with measured occupancy.
+type SlotLedger struct {
+	// Tx counts slots spent transmitting (polls for the initiator,
+	// replies for positive bin members).
+	Rx, Tx int
+	// Idle counts slots spent awake but neither sending nor receiving
+	// anything useful (a negative node listening through its bin's reply
+	// slot).
+	Idle int
+}
+
+// Add accumulates another ledger into l.
+func (l *SlotLedger) Add(o SlotLedger) {
+	l.Rx += o.Rx
+	l.Tx += o.Tx
+	l.Idle += o.Idle
+}
+
+// Slots returns the total accounted slots.
+func (l SlotLedger) Slots() int { return l.Rx + l.Tx + l.Idle }
+
+// ObservedSession prices per-node slot ledgers into an energy Report. The
+// caller supplies the per-slot durations for each radio state — typically
+// timing.FrameAirtime for rx/tx and a backoff slot for idle listening — so
+// the bill reflects what each node's radio actually did, not the analytical
+// schedule the session models above assume.
+func ObservedSession(m Model, txAir, rxAir, idleAir time.Duration, initiator SlotLedger, nodes []SlotLedger) Report {
+	bill := func(l SlotLedger) float64 {
+		return m.millijoules(time.Duration(l.Tx)*txAir, m.TxmA) +
+			m.millijoules(time.Duration(l.Rx)*rxAir, m.RxmA) +
+			m.millijoules(time.Duration(l.Idle)*idleAir, m.IdlemA)
+	}
+	rep := Report{Initiator: bill(initiator), PerNode: make([]float64, len(nodes))}
+	for i, l := range nodes {
+		rep.PerNode[i] = bill(l)
+	}
+	return rep
+}
+
 // TcastSession computes the energy of one traced tcast-over-backcast
 // session with the given rounds, over n participants whose ground truth
 // is isPositive.

@@ -161,3 +161,40 @@ func TestSchemeComparisonAtModerateX(t *testing.T) {
 			seqRep.MeanNode(), tcastRep.MeanNode(), csmaRep.MeanNode())
 	}
 }
+
+func TestObservedSession(t *testing.T) {
+	m := CC2420()
+	tx, rx, idle := 400*time.Microsecond, 800*time.Microsecond, 320*time.Microsecond
+	init := SlotLedger{Tx: 10, Rx: 5}
+	nodes := []SlotLedger{
+		{Rx: 10, Tx: 5},   // positive node: hears polls, replies
+		{Rx: 10, Idle: 5}, // negative node: hears polls, idles reply slots
+		{},                // never polled: sleeps, zero bill
+	}
+	rep := ObservedSession(m, tx, rx, idle, init, nodes)
+	wantInit := m.millijoules(10*tx, m.TxmA) + m.millijoules(5*rx, m.RxmA)
+	if math.Abs(rep.Initiator-wantInit) > 1e-12 {
+		t.Fatalf("Initiator = %v, want %v", rep.Initiator, wantInit)
+	}
+	want0 := m.millijoules(10*rx, m.RxmA) + m.millijoules(5*tx, m.TxmA)
+	want1 := m.millijoules(10*rx, m.RxmA) + m.millijoules(5*idle, m.IdlemA)
+	if math.Abs(rep.PerNode[0]-want0) > 1e-12 || math.Abs(rep.PerNode[1]-want1) > 1e-12 {
+		t.Fatalf("PerNode = %v, want [%v %v 0]", rep.PerNode, want0, want1)
+	}
+	if rep.PerNode[2] != 0 {
+		t.Fatalf("unpolled node billed %v", rep.PerNode[2])
+	}
+	// Replies are cheaper than listening on the CC2420, so the positive
+	// node (tx slots) must spend less than a hypothetical node that
+	// listened through the same 5 slots.
+	if rep.PerNode[0] >= m.millijoules(10*rx, m.RxmA)+m.millijoules(5*rx, m.RxmA) {
+		t.Fatal("tx slots priced at or above rx slots")
+	}
+	var sum SlotLedger
+	for _, l := range nodes {
+		sum.Add(l)
+	}
+	if sum.Slots() != 30 || init.Slots() != 15 {
+		t.Fatalf("ledger totals = %d/%d", sum.Slots(), init.Slots())
+	}
+}

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"tcast/internal/audit"
+)
+
+// TestAuditingDoesNotPerturbTrials extends the determinism acceptance test
+// to the audit layer: the auditor consumes zero randomness and never
+// mutates bins or responses, so an audited run must produce the identical
+// figure table as a bare run with the same seed.
+func TestAuditingDoesNotPerturbTrials(t *testing.T) {
+	for _, id := range []string{"fig1", "fig2"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := e.Run(Options{Runs: 20, Seed: 2011})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := &audit.Collector{}
+		audited, err := e.Run(Options{Runs: 20, Seed: 2011, Audit: col})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Render(plain) != Render(audited) {
+			t.Fatalf("%s: auditing changed the table:\n--- plain ---\n%s--- audited ---\n%s",
+				id, Render(plain), Render(audited))
+		}
+		s := col.Stats()
+		if s.Sessions == 0 {
+			t.Fatalf("%s: collector empty after audited run", id)
+		}
+		// fig1/fig2 run on lossless fastsim, so every session must be
+		// correct with zero invariant violations.
+		if s.Outcomes[audit.OutcomeCorrect] != s.Sessions {
+			t.Fatalf("%s: outcomes %v over %d sessions", id, s.Outcomes, s.Sessions)
+		}
+		if s.Violations() != 0 {
+			t.Fatalf("%s: %d invariant violations on a lossless substrate", id, s.Violations())
+		}
+	}
+}
+
+// TestAuditFullSuiteZeroViolations is the soundness acceptance criterion:
+// auditing the entire experiment registry must observe zero Knowledge
+// invariant violations — the lossless substrates prove the bounds hold at
+// every poll, and the lossy ones (motelab, tab-acc's pollcast) must still
+// keep Confirmed/candidate monotonicity and bin discipline.
+func TestAuditFullSuiteZeroViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	col := &audit.Collector{}
+	for _, e := range All() {
+		if _, err := e.Run(Options{Runs: 3, Seed: 5, Audit: col}); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+	}
+	s := col.Stats()
+	if s.Sessions == 0 || s.Polls == 0 {
+		t.Fatalf("registry sweep graded nothing: %+v", s)
+	}
+	if s.Violations() != 0 {
+		t.Fatalf("%d invariant violations across the suite:\n%s", s.Violations(), col.Summary())
+	}
+}
+
+// TestTabAccAttributesWrongDecisions is the provenance acceptance
+// criterion: on the lossy pollcast campaign every wrong decision must be
+// attributed to a named causal poll (the loss direction is forced — x > t,
+// and pollcast under the configured medium can only hide replies).
+func TestTabAccAttributesWrongDecisions(t *testing.T) {
+	e, err := Get("tab-acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &audit.Collector{}
+	if _, err := e.Run(Options{Runs: 40, Seed: 2011, Audit: col}); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Stats()
+	if want := 40 * len(accMissPcts); s.Sessions != want {
+		t.Fatalf("sessions = %d, want %d", s.Sessions, want)
+	}
+	if len(s.Wrong) == 0 {
+		t.Fatal("no wrong decisions at up to 20% reply loss — campaign not exercising the grader")
+	}
+	for _, w := range s.Wrong {
+		if w.Outcome != audit.OutcomeWrongLoss || w.CausalPoll < 0 || w.CausalClass != audit.ClassFalseNegative {
+			t.Errorf("wrong decision %q not attributed: %+v", w.Session, w)
+		}
+		if !strings.Contains(w.Session, "miss=") {
+			t.Errorf("session label %q missing the campaign parameters", w.Session)
+		}
+	}
+	if s.Violations() != 0 {
+		t.Fatalf("lossy campaign tripped %d invariant violations:\n%s", s.Violations(), col.Summary())
+	}
+	// The summary is the accuracy-breakdown table: it must name the causal
+	// polls.
+	if sum := col.Summary(); !strings.Contains(sum, "causal poll") {
+		t.Fatalf("summary has no causal poll rows:\n%s", sum)
+	}
+}
+
+// TestTabErrAuditAttribution: the motelab campaign's wrong decisions are
+// graded by replay and must likewise be attributed (backcast loss can only
+// produce false negatives).
+func TestTabErrAuditAttribution(t *testing.T) {
+	e, err := Get("tab-err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &audit.Collector{}
+	if _, err := e.Run(Options{Runs: 30, Seed: 2011, Audit: col}); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Stats()
+	if s.Sessions == 0 {
+		t.Fatal("motelab campaign graded no sessions")
+	}
+	if len(s.Wrong) == 0 {
+		t.Fatal("no wrong decisions in the calibrated motelab campaign")
+	}
+	for _, w := range s.Wrong {
+		if w.Outcome != audit.OutcomeWrongLoss || w.CausalPoll < 0 {
+			t.Errorf("wrong decision %q not attributed: %+v", w.Session, w)
+		}
+		if !strings.HasPrefix(w.Session, "motelab/") {
+			t.Errorf("unexpected session label %q", w.Session)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tcast/internal/audit"
 	"tcast/internal/core"
 	"tcast/internal/fastsim"
 	"tcast/internal/metrics"
@@ -47,6 +48,15 @@ type Options struct {
 	// no randomness, so the computed tables are bit-identical with and
 	// without it.
 	Trace *trace.Builder
+	// Audit, when non-nil, grades every session against the substrate's
+	// ground truth: each trial's querier chain gains an audit.Auditor and
+	// its verdict (decision outcome, poll soundness classes, invariant
+	// violations, causal poll for wrong decisions) is folded into the
+	// collector. Auditing forces the worker count to one so session labels
+	// and the collector's wrong-decision rows are in deterministic trial
+	// order; like the other two layers it consumes no randomness, so the
+	// computed tables are bit-identical with and without it.
+	Audit *audit.Collector
 }
 
 func (o Options) runs(def int) int {
@@ -58,10 +68,11 @@ func (o Options) runs(def int) int {
 
 func (o Options) workers() int {
 	// Span order must be deterministic for traces to be byte-identical
-	// across runs, so tracing serializes the trial pool. RunTrials
-	// produces the same values for any worker count, so this changes
-	// only wall-clock speed, never results.
-	if o.Trace != nil {
+	// across runs, so tracing serializes the trial pool; auditing does the
+	// same so the collector's session labels and wrong-decision rows are
+	// in trial order. RunTrials produces the same values for any worker
+	// count, so this changes only wall-clock speed, never results.
+	if o.Trace != nil || o.Audit != nil {
 		return 1
 	}
 	if o.Workers > 0 {
@@ -200,29 +211,50 @@ func plainAlg(a core.Algorithm) algChannelFactory {
 
 // tcastCost measures one tcast session's query count on a fresh channel
 // with exactly x positives. o.Metrics interposes the instrumented querier,
-// recording every group poll; o.Trace additionally stacks the span
-// recorder outside it, rendering the trial as trial → session → round →
-// poll spans. Neither wrapper consumes randomness, so the measured values
-// are identical in every combination.
+// recording every group poll; o.Audit stacks the ground-truth auditor over
+// it; o.Trace additionally stacks the span recorder outside both,
+// rendering the trial as trial → session → round → poll spans (with the
+// auditor below the span layer, so its verdict annotates the session
+// span). No wrapper consumes randomness, so the measured values are
+// identical in every combination.
 func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options) pointCost {
-	// Trial spans are numbered in emission order. The counter is only
-	// touched when tracing, and tracing serializes the trial pool
-	// (Options.workers), so it needs no synchronization.
+	// Trial spans and audit session labels are numbered in emission
+	// order. The counter is only touched when tracing or auditing, and
+	// both serialize the trial pool (Options.workers), so it needs no
+	// synchronization.
 	trial := 0
 	return func(r *rng.Source) (float64, error) {
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
 		alg := fac(ch)
 		q := metrics.Wrap(ch, o.Metrics)
+		var aud *audit.Auditor
+		var label string
+		if o.Audit != nil {
+			label = fmt.Sprintf("%s/n=%d/t=%d/x=%d/trial=%d", alg.Name(), n, t, x, trial)
+			var err error
+			aud, err = audit.New(q, audit.Config{N: n, T: t, Metrics: o.Metrics})
+			if err != nil {
+				return 0, err
+			}
+			q = aud
+		}
 		var sq *trace.SpanQuerier
 		if b := o.Trace; b != nil {
 			b.Begin(trace.KindTrial, "trial "+strconv.Itoa(trial))
-			trial++
 			sq = trace.NewSpanQuerier(q, b)
 			sq.StartSession(alg.Name(),
 				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
 			q = sq
 		}
+		if o.Audit != nil || o.Trace != nil {
+			trial++
+		}
 		res, err := alg.Run(q, n, t, r.Split(2))
+		if aud != nil && err == nil {
+			// Finish before EndSession so the verdict annotates the
+			// closing session span.
+			o.Audit.Add(label, aud.Finish(res.Decision))
+		}
 		if sq != nil {
 			if err == nil {
 				sq.EndSession(

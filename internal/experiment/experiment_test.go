@@ -60,7 +60,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-capture", "abl-variants", "ext-battery", "ext-count",
 		"ext-energy", "ext-kplus", "ext-multihop", "ext-time", "fig1",
 		"fig10", "fig11", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "tab-err",
+		"fig8", "fig9", "tab-acc", "tab-err",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -234,6 +234,7 @@ func init() {
 			cfg := motelab.DefaultConfig()
 			cfg.Seed = o.Seed + 1
 			cfg.Trace = o.Trace
+			cfg.Audit = o.Audit
 			lab, err := motelab.New(cfg)
 			if err != nil {
 				return nil, err
@@ -266,6 +267,7 @@ func init() {
 			cfg := motelab.DefaultConfig()
 			cfg.Seed = o.Seed + 1
 			cfg.Trace = o.Trace
+			cfg.Audit = o.Audit
 			lab, err := motelab.New(cfg)
 			if err != nil {
 				return nil, err

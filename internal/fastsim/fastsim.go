@@ -162,6 +162,14 @@ func (c *Channel) IsPositive(id int) bool { return c.positives.Contains(id) }
 // Stats returns the transmission counts accumulated so far.
 func (c *Channel) Stats() TxStats { return c.stats }
 
+// Lossless reports whether every response is sound: no reply can be missed
+// and no interference can fake activity, so each Response's Min/MaxPositives
+// bounds hold against ground truth. The audit layer uses this to decide
+// whether Knowledge-bound violations are substrate loss or algorithm bugs.
+func (c *Channel) Lossless() bool {
+	return c.cfg.MissProb == 0 && c.cfg.FalseActiveProb == 0
+}
+
 // TraceAttrs implements trace.Annotator: the abstract channel annotates
 // session spans with its radio configuration and transmission ledger.
 func (c *Channel) TraceAttrs() []trace.Attr {

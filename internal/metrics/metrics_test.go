@@ -218,6 +218,37 @@ func TestSuffixedAndWithLabel(t *testing.T) {
 	}
 }
 
+// TestExpositionEscapesLabelValues: label values fold into names via %q,
+// so quotes, backslashes and newlines must reach the exposition escaped —
+// a raw newline inside a label would split one sample across two lines and
+// corrupt the whole scrape.
+func TestExpositionEscapesLabelValues(t *testing.T) {
+	r := New()
+	r.Counter("sessions_total", "session", "quote\"back\\slash\nnewline").Inc()
+
+	want := `sessions_total{session="quote\"back\\slash\nnewline"} 1`
+	var text strings.Builder
+	if err := WriteText(&text, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), want) {
+		t.Errorf("text dump missing escaped label:\n%s", text.String())
+	}
+
+	var prom strings.Builder
+	if err := WritePrometheus(&prom, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), want) {
+		t.Errorf("prometheus dump missing escaped label:\n%s", prom.String())
+	}
+	// One TYPE line plus one sample line: the hostile label value must not
+	// have added physical lines.
+	if got := strings.Count(prom.String(), "\n"); got != 2 {
+		t.Errorf("prometheus dump has %d lines, want 2:\n%q", got, prom.String())
+	}
+}
+
 func TestExponentialBuckets(t *testing.T) {
 	got := ExponentialBuckets(1, 2, 5)
 	want := []float64{1, 2, 4, 8, 16}

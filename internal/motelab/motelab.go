@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"tcast/internal/audit"
 	"tcast/internal/core"
 	"tcast/internal/metrics"
 	"tcast/internal/mote"
@@ -54,6 +55,11 @@ type Config struct {
 	// at backcast cost (3 RCD slots per group query). The lab runs
 	// trials sequentially, so span order depends only on the seed.
 	Trace *trace.Builder
+	// Audit, when non-nil, grades every run's poll record against the
+	// ground truth the lab configured (audit.GradeReplay over the
+	// initiator's trace), attributing each wrong decision to its first
+	// causal poll.
+	Audit *audit.Collector
 }
 
 // DefaultConfig returns the paper's testbed shape.
@@ -274,6 +280,23 @@ func (l *Lab) RunBatch(threshold, x, repeats int) (Stats, error) {
 			)
 			b.End() // session
 			b.End() // trial
+		}
+		if c := l.cfg.Audit; c != nil {
+			// Grade the run from the initiator's poll record. Backcast
+			// responses are binary (Empty/Active), so the 1+ traits apply
+			// regardless of the firmware's radio.
+			polls := make([]audit.ReplayPoll, len(outcome.Trace))
+			for i, rec := range outcome.Trace {
+				kind := query.Active
+				if rec.Empty {
+					kind = query.Empty
+				}
+				polls[i] = audit.ReplayPoll{Bin: rec.Bin, Resp: query.Response{Kind: kind}}
+			}
+			truth := audit.TruthFunc(func(id int) bool { return positive[id] })
+			label := fmt.Sprintf("motelab/%s/t=%d/x=%d/rep=%d", l.algName(), threshold, x, rep)
+			c.Add(label, audit.GradeReplay(threshold, x, truth,
+				query.Traits{Model: query.OnePlus}, polls, outcome.Decision))
 		}
 
 		stats.Trials++

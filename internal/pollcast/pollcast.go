@@ -105,6 +105,28 @@ func (s *Session) Traits() query.Traits {
 // time cost (2 slots per pollcast query, 3 per backcast query).
 func (s *Session) Slots() int { return s.slots }
 
+// IsPositive reports the ground-truth predicate value for one participant.
+// Unknown IDs (including the initiator) are negative.
+func (s *Session) IsPositive(id int) bool {
+	p, ok := s.parts[id]
+	return ok && p.Positive
+}
+
+// Positives reports the ground-truth number of positive participants.
+func (s *Session) Positives() int {
+	x := 0
+	for _, p := range s.parts {
+		if p.Positive {
+			x++
+		}
+	}
+	return x
+}
+
+// Lossless reports whether the underlying medium can neither drop replies
+// nor fake activity; see radio.Medium.Lossless.
+func (s *Session) Lossless() bool { return s.med.Lossless() }
+
 // Elapsed returns the session's wall-clock air time so far, from the
 // medium's 802.15.4 clock.
 func (s *Session) Elapsed() time.Duration { return s.med.Elapsed() }

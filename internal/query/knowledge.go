@@ -73,7 +73,7 @@ func (k *Knowledge) Apply(bin []int, r Response, traits Traits) {
 	case Decoded:
 		k.Confirmed++
 		k.Candidates.Remove(r.DecodedID)
-		if !traits.CaptureEffect {
+		if r.MaxPositives(bin, traits) == 1 {
 			// Without capture, a decode proves the bin had exactly
 			// one replier: everyone else in the bin is negative.
 			for _, id := range bin {

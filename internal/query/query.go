@@ -88,7 +88,10 @@ type KindCounts struct {
 	Collisions int
 }
 
-// Observe tallies one response kind.
+// Observe tallies one response kind. Out-of-range kinds panic: a Kind
+// outside [0, NumKinds) can only come from a substrate bug, and silently
+// dropping it would let the per-kind counts drift away from the number of
+// polls actually issued.
 func (c *KindCounts) Observe(k Kind) {
 	switch k {
 	case Empty:
@@ -99,11 +102,14 @@ func (c *KindCounts) Observe(k Kind) {
 		c.Decoded++
 	case Collision:
 		c.Collisions++
+	default:
+		panic(fmt.Sprintf("query: KindCounts.Observe of out-of-range kind %v", k))
 	}
 }
 
-// Total returns the number of observed polls. Because Observe ignores
-// out-of-range kinds, the per-kind counts always partition Total exactly.
+// Total returns the number of observed polls. Because Observe panics on
+// out-of-range kinds, the per-kind counts always partition Total exactly:
+// Total equals the number of Observe calls that returned.
 func (c KindCounts) Total() int {
 	return c.Empty + c.Active + c.Decoded + c.Collisions
 }
@@ -128,6 +134,27 @@ func (r Response) MinPositives() int {
 		return 2
 	default:
 		return 0
+	}
+}
+
+// MaxPositives returns the guaranteed upper bound on positive nodes in the
+// queried bin implied by the response: Empty proves zero, and a Decoded
+// response without the capture effect proves exactly one (the decode would
+// have been destroyed by any second replier). Every other outcome bounds
+// the count only by the bin size. Knowledge.Apply and the audit layer's
+// ground-truth checker both derive their exclusion logic from this helper
+// so the two can never diverge.
+func (r Response) MaxPositives(bin []int, traits Traits) int {
+	switch r.Kind {
+	case Empty:
+		return 0
+	case Decoded:
+		if !traits.CaptureEffect {
+			return 1
+		}
+		return len(bin)
+	default:
+		return len(bin)
 	}
 }
 

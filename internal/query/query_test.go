@@ -275,10 +275,53 @@ func TestKindCountsPartition(t *testing.T) {
 	if c.Total() != len(seq) {
 		t.Fatalf("Total = %d, want %d", c.Total(), len(seq))
 	}
-	// Out-of-range kinds are ignored, so the partition invariant holds.
+}
+
+// TestKindCountsObservePanicsOnBogusKind: an out-of-range kind is a
+// substrate bug; Observe must refuse it loudly rather than let the
+// partition drift away from the number of polls issued.
+func TestKindCountsObservePanicsOnBogusKind(t *testing.T) {
+	var c KindCounts
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe(Kind(99)) did not panic")
+		}
+		if c.Total() != 0 {
+			t.Fatalf("Total = %d after rejected observation", c.Total())
+		}
+	}()
 	c.Observe(Kind(99))
-	if c.Total() != len(seq) {
-		t.Fatalf("Total after bogus kind = %d", c.Total())
+}
+
+func TestMaxPositives(t *testing.T) {
+	bin := []int{3, 7, 9}
+	cases := []struct {
+		r      Response
+		traits Traits
+		want   int
+	}{
+		{Response{Kind: Empty}, Traits{}, 0},
+		{Response{Kind: Active}, Traits{}, 3},
+		{Response{Kind: Collision}, Traits{Model: TwoPlus}, 3},
+		// A capture-free decode proves exactly one replier...
+		{Response{Kind: Decoded, DecodedID: 7}, Traits{Model: TwoPlus}, 1},
+		// ...but with capture, further positives may hide behind it.
+		{Response{Kind: Decoded, DecodedID: 7}, Traits{Model: TwoPlus, CaptureEffect: true}, 3},
+	}
+	for _, c := range cases {
+		if got := c.r.MaxPositives(bin, c.traits); got != c.want {
+			t.Errorf("MaxPositives(%v, %+v) = %d, want %d", c.r.Kind, c.traits, got, c.want)
+		}
+		if got := c.r.MaxPositives(bin, c.traits); got < c.r.MinPositives() && c.r.Kind != Collision {
+			t.Errorf("%v: MaxPositives %d < MinPositives %d", c.r.Kind, got, c.r.MinPositives())
+		}
+	}
+	// On a singleton bin every non-empty response pins the count to 1.
+	one := []int{5}
+	for _, k := range []Kind{Active, Decoded} {
+		if got := (Response{Kind: k, DecodedID: 5}).MaxPositives(one, Traits{CaptureEffect: true}); got != 1 {
+			t.Errorf("singleton %v: MaxPositives = %d, want 1", k, got)
+		}
 	}
 }
 

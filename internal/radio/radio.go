@@ -151,6 +151,16 @@ func NewMedium(cfg Config, r *rng.Source) *Medium {
 // Slot returns the index of the current (or last completed) slot.
 func (m *Medium) Slot() int { return m.slot }
 
+// Lossless reports whether the medium can neither drop a reply nor fake
+// channel activity: no per-copy loss on votes/HACKs or control frames and
+// no external interference. The capture effect alone does not break
+// soundness — a captured frame still names a real transmitter — so
+// CaptureBeta is irrelevant here.
+func (m *Medium) Lossless() bool {
+	return m.cfg.MissProb == 0 && m.cfg.MissProbFor == nil &&
+		m.cfg.ControlMissProb == 0 && m.cfg.InterferenceProb == 0
+}
+
 // TraceAttrs implements trace.Annotator: the medium annotates spans with
 // its imperfection model and the air-time ledger so far.
 func (m *Medium) TraceAttrs() []trace.Attr {

@@ -230,11 +230,13 @@ func (b *Builder) Trace() *Trace {
 	return &Trace{Meta: b.meta, Roots: b.roots}
 }
 
-// Annotator lets a substrate contribute span attributes it alone knows —
+// Annotator lets a layer contribute span attributes it alone knows —
 // the collision model and capture configuration on the abstract channel,
 // the primitive and slot ledger at packet level, backoff counts under the
-// MAC baselines. SpanQuerier collects attributes from every Annotator in
-// the querier middleware chain when a session span closes.
+// MAC baselines, poll grades and verdicts from the audit middleware.
+// SpanQuerier collects attributes from every Annotator in the querier
+// middleware chain when a session span closes (so an auditor stacked
+// below the span layer annotates the session with its verdict).
 type Annotator interface {
 	TraceAttrs() []Attr
 }
