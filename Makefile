@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench tcastbench bench-smoke baseline figs lab cover fuzz clean
+.PHONY: all build test race lint bench tcastbench bench-smoke bench-obs baseline figs lab cover fuzz clean
 
 all: build test
 
@@ -15,6 +15,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Static analysis: vet always; staticcheck when installed (CI installs it,
+# see .github/workflows/ci.yml).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee bench_output.txt
@@ -29,6 +39,11 @@ tcastbench:
 # The CI smoke subset: micro-benchmarks plus the analytic figures.
 bench-smoke:
 	$(GO) run ./cmd/tcastbench -short -out BENCH.json
+
+# The parallel-observability trio side by side: bare vs traced vs audited
+# 2tBins trials/sec through the full-parallelism trial pool.
+bench-obs:
+	$(GO) run ./cmd/tcastbench -run query-2tbins -out /dev/null
 
 # Regenerate the committed perf baseline. Run the full suite on a quiet
 # machine, eyeball the diff against the previous baseline, and commit the

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -65,6 +66,10 @@ type Result struct {
 	// simulator's throughput in the paper's own cost units.
 	PollsPerSec        float64 `json:"polls_per_sec"`
 	VirtualSlotsPerSec float64 `json:"virtual_slots_per_sec"`
+	// TrialsPerSec is set on the per-trial parallel benchmarks (one trial
+	// per op through experiment.RunTrials at full worker parallelism):
+	// 1e9/ns_op, the pool's aggregate trial throughput.
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
 }
 
 // File is the whole BENCH.json document.
@@ -83,6 +88,10 @@ type bench struct {
 	// traced measures one iteration's cost-model work; nil when the
 	// benchmark has nothing to trace.
 	traced func() (polls, slots int64, err error)
+	// perTrial marks benchmarks whose op is one trial of a parallel pool;
+	// they report TrialsPerSec so bare/traced/audited throughput lines up
+	// side by side (see `make bench-obs`).
+	perTrial bool
 }
 
 func main() {
@@ -179,9 +188,16 @@ func runBenches(short bool, filter string) File {
 				r.VirtualSlotsPerSec = float64(slots) * 1e9 / r.NsOp
 			}
 		}
+		if b.perTrial && r.NsOp > 0 {
+			r.TrialsPerSec = 1e9 / r.NsOp
+		}
 		f.Benchmarks = append(f.Benchmarks, r)
-		fmt.Printf("%-24s %12.0f ns/op %8d allocs/op %12.0f polls/s %12.0f vslots/s\n",
+		line := fmt.Sprintf("%-24s %12.0f ns/op %8d allocs/op %12.0f polls/s %12.0f vslots/s",
 			r.Name, r.NsOp, r.AllocsOp, r.PollsPerSec, r.VirtualSlotsPerSec)
+		if r.TrialsPerSec > 0 {
+			line += fmt.Sprintf(" %10.0f trials/s", r.TrialsPerSec)
+		}
+		fmt.Println(line)
 	}
 	return f
 }
@@ -320,8 +336,9 @@ func benches() []bench {
 		})
 	}
 	out = append(out,
-		algBench("query-2tbins", core.TwoTBins{}, 128, 16, 16, fastsim.DefaultConfig()),
-		auditBench("query-2tbins-audited", 128, 16, 16),
+		trialsBench("query-2tbins", obsBare),
+		trialsBench("query-2tbins-traced", obsTraced),
+		trialsBench("query-2tbins-audited", obsAudited),
 		algBench("query-2tbins-2plus", core.TwoTBins{}, 128, 16, 16, fastsim.TwoPlusConfig()),
 		algBench("query-expincrease", core.ExpIncrease{}, 128, 16, 16, fastsim.DefaultConfig()),
 		algBench("query-probabns", core.ProbABNS{}, 128, 16, 16, fastsim.DefaultConfig()),
@@ -329,6 +346,112 @@ func benches() []bench {
 		packetBench(),
 	)
 	return out
+}
+
+// obsLayer selects the observability stack of a trialsBench entry.
+type obsLayer int
+
+const (
+	obsBare obsLayer = iota
+	obsTraced
+	obsAudited
+)
+
+// trialsBench is the parallel-observability trio: one op is one 2tBins
+// trial (n=128, t=16, x=16) run through experiment.RunTrials at full
+// worker parallelism, with the chosen layer stacked exactly as the sweep
+// driver stacks it. Trials are batched like sweep points — a fresh trace
+// builder grafted (or the audit batch flushed) every 1000 trials — so the
+// measured cost includes the fork/graft bookkeeping and memory stays
+// bounded at any b.N. The deltas between the three entries are the traced
+// and audited overheads per trial; against a serial baseline the
+// trials/sec column shows the parallel speedup.
+func trialsBench(name string, layer obsLayer) bench {
+	const n, t, x, batch = 128, 16, 16, 1000
+	cfg := fastsim.DefaultConfig()
+	trial := func(builder *trace.Builder, col *audit.Collector) func(i int, r *rng.Source) (float64, error) {
+		return func(i int, r *rng.Source) (float64, error) {
+			ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+			var q query.Querier = ch
+			var aud *audit.Auditor
+			if col != nil {
+				var err error
+				aud, err = audit.New(q, audit.Config{N: n, T: t})
+				if err != nil {
+					return 0, err
+				}
+				q = aud
+			}
+			var fb *trace.Builder
+			var sq *trace.SpanQuerier
+			if builder != nil {
+				fb = builder.Fork(i)
+				fb.Begin(trace.KindTrial, "trial")
+				sq = trace.NewSpanQuerier(q, fb)
+				sq.StartSession("2tBins")
+				q = sq
+			}
+			res, err := (core.TwoTBins{}).Run(q, n, t, r.Split(2))
+			if err != nil {
+				return 0, err
+			}
+			if aud != nil {
+				col.AddAt(i, "2tBins", aud.Finish(res.Decision))
+			}
+			if sq != nil {
+				sq.EndSession()
+				fb.End()
+			}
+			return float64(res.Queries), nil
+		}
+	}
+	return bench{
+		name:     name,
+		short:    true,
+		perTrial: true,
+		fn: func(b *testing.B) {
+			workers := runtime.GOMAXPROCS(0)
+			var col *audit.Collector
+			if layer == obsAudited {
+				col = &audit.Collector{}
+			}
+			b.ReportAllocs()
+			for done, seed := 0, uint64(1); done < b.N; seed++ {
+				m := b.N - done
+				if m > batch {
+					m = batch
+				}
+				var builder *trace.Builder
+				if layer == obsTraced {
+					builder = trace.NewBuilder()
+				}
+				if _, err := experiment.RunTrials(m, workers, rng.New(seed), trial(builder, col)); err != nil {
+					b.Fatal(err)
+				}
+				if builder != nil {
+					builder.Graft()
+				}
+				if col != nil {
+					col.Flush()
+				}
+				done += m
+			}
+		},
+		traced: func() (int64, int64, error) {
+			// Cost-model work of one trial: a single traced session.
+			r := rng.New(1).Split(0)
+			ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+			tb := trace.NewBuilder()
+			sq := trace.NewSpanQuerier(ch, tb)
+			sq.StartSession("2tBins")
+			if _, err := (core.TwoTBins{}).Run(sq, n, t, r.Split(2)); err != nil {
+				return 0, 0, err
+			}
+			sq.EndSession()
+			a := trace.Analyze(tb.Trace())
+			return int64(a.Polls), a.Slots, nil
+		},
+	}
 }
 
 // algBench times one tcast session per iteration on the abstract channel;
@@ -357,55 +480,6 @@ func algBench(name string, alg core.Algorithm, n, t, x int, cfg fastsim.Config) 
 			if _, err := alg.Run(sq, n, t, r.Split(2)); err != nil {
 				return 0, 0, err
 			}
-			sq.EndSession()
-			a := trace.Analyze(tb.Trace())
-			return int64(a.Polls), a.Slots, nil
-		},
-	}
-}
-
-// auditBench times the same session as query-2tbins with the ground-truth
-// auditor stacked on the channel, so the grading overhead per session is
-// the delta between the two entries.
-func auditBench(name string, n, t, x int) bench {
-	cfg := fastsim.DefaultConfig()
-	return bench{
-		name:  name,
-		short: true,
-		fn: func(b *testing.B) {
-			root := rng.New(1)
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				r := root.Split(uint64(i))
-				ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
-				aud, err := audit.New(ch, audit.Config{N: n, T: t})
-				if err != nil {
-					b.Fatal(err)
-				}
-				res, err := (core.TwoTBins{}).Run(aud, n, t, r.Split(2))
-				if err != nil {
-					b.Fatal(err)
-				}
-				if v := aud.Finish(res.Decision); !v.Correct() {
-					b.Fatalf("lossless session graded %v", v.Outcome)
-				}
-			}
-		},
-		traced: func() (int64, int64, error) {
-			r := rng.New(1).Split(0)
-			ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
-			aud, err := audit.New(ch, audit.Config{N: n, T: t})
-			if err != nil {
-				return 0, 0, err
-			}
-			tb := trace.NewBuilder()
-			sq := trace.NewSpanQuerier(aud, tb)
-			sq.StartSession("2tBins audited")
-			res, err := (core.TwoTBins{}).Run(sq, n, t, r.Split(2))
-			if err != nil {
-				return 0, 0, err
-			}
-			aud.Finish(res.Decision)
 			sq.EndSession()
 			a := trace.Analyze(tb.Trace())
 			return int64(a.Polls), a.Slots, nil

@@ -37,6 +37,7 @@ func main() {
 	var (
 		fig     = flag.String("fig", "all", "experiment ID or 'all'")
 		runs    = flag.Int("runs", 0, "trials per point (0 = paper defaults: 1000 sim, 100 mote)")
+		workers = flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS); results are worker-count-independent")
 		seed    = flag.Uint64("seed", 2011, "root random seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut = flag.Bool("json", false, "emit JSON instead of aligned text")
@@ -45,8 +46,8 @@ func main() {
 		out     = flag.String("out", "", "directory to write per-experiment files into (stdout if empty)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 
-		doAudit     = flag.Bool("audit", false, "grade every session against ground truth and print the audit summary; serializes trials")
-		traceOut    = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the run to this file; serializes trials")
+		doAudit     = flag.Bool("audit", false, "grade every session against ground truth and print the audit summary")
+		traceOut    = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the run to this file")
 		metricsOut  = flag.String("metrics", "", "dump run metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
 		metricsAddr = flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address during the run")
 		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
@@ -108,7 +109,7 @@ func main() {
 		col = &audit.Collector{}
 	}
 
-	opts := experiment.Options{Runs: *runs, Seed: *seed, Metrics: reg, Trace: builder, Audit: col}
+	opts := experiment.Options{Runs: *runs, Seed: *seed, Workers: *workers, Metrics: reg, Trace: builder, Audit: col}
 	for _, e := range exps {
 		start := time.Now()
 		if builder != nil {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 
 	"tcast/internal/audit"
@@ -36,6 +37,7 @@ func main() {
 		alg     = flag.String("alg", "2tbins", "algorithm: 2tbins | exp | abns-t | abns-2t | probabns | oracle | csma | seq")
 		model   = flag.String("model", "1+", "collision model: 1+ | 2+")
 		runs    = flag.Int("runs", 1000, "number of trials")
+		workers = flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS); results are worker-count-independent")
 		seed    = flag.Uint64("seed", 2011, "root random seed")
 		miss    = flag.Float64("miss", 0, "per-reply miss probability (radio irregularity)")
 		dump    = flag.Bool("dump", false, "print a poll-by-poll trace of one session before the sweep")
@@ -104,13 +106,22 @@ func main() {
 		sp := builder.Begin(trace.KindExperiment, "tcastsim")
 		sp.SetAttr(trace.StringAttr("alg", name))
 	}
-	// RunTrials with one worker (the trace builder is not safe for
-	// concurrent use, and trial values are worker-count-independent).
-	values, err := experiment.RunTrials(*runs, 1, rng.New(*seed), trial)
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	// Trials fan out over the pool; each records into its own trace fork
+	// and audit slot keyed by trial index, so the outputs below are
+	// bit-identical for any worker count.
+	values, err := experiment.RunTrials(*runs, w, rng.New(*seed), trial)
 	if err != nil {
 		fatal(err)
 	}
+	if col != nil {
+		col.Flush()
+	}
 	if builder != nil {
+		builder.Graft()
 		if err := trace.WriteFile(*traceOut, builder.Trace()); err != nil {
 			fatal(err)
 		}
@@ -138,23 +149,23 @@ func main() {
 // buildTrial returns a per-trial cost function for the selected scheme.
 // A non-nil registry instruments every group poll of the tcast schemes;
 // the CSMA/sequential baselines have no group polls to instrument. A
-// non-nil builder renders each trial as virtual-time spans (and forces the
-// caller to run trials sequentially — the builder is not concurrency-safe).
-// A non-nil collector grades every tcast session against the channel's
-// ground truth.
-func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Registry, b *trace.Builder, col *audit.Collector) (func(r *rng.Source) (float64, error), string, error) {
-	trialN := 0 // span/label numbering; trials run sequentially here
-	baselineTrial := func(scheme string, run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(r *rng.Source) (float64, error) {
-		return func(r *rng.Source) (float64, error) {
+// non-nil builder renders each trial as virtual-time spans: the trial
+// records into its own fork keyed by trial index, so trials may run on
+// every core and the caller grafts the fragments back in order. A
+// non-nil collector grades every tcast session against the channel's
+// ground truth, likewise keyed by trial index.
+func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Registry, b *trace.Builder, col *audit.Collector) (func(i int, r *rng.Source) (float64, error), string, error) {
+	baselineTrial := func(scheme string, run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(i int, r *rng.Source) (float64, error) {
+		return func(trialN int, r *rng.Source) (float64, error) {
 			pos := bitset.New(n)
 			for _, id := range r.Split(1).Sample(n, x) {
 				pos.Add(id)
 			}
 			res := run(n, t, pos, r.Split(2))
 			if b != nil {
-				sp := b.Begin(trace.KindTrial, "trial "+strconv.Itoa(trialN))
-				trialN++
-				b.Advance(int64(res.Slots))
+				f := b.Fork(trialN)
+				sp := f.Begin(trace.KindTrial, "trial "+strconv.Itoa(trialN))
+				f.Advance(int64(res.Slots))
 				sp.SetAttr(
 					trace.StringAttr("substrate", "baseline"),
 					trace.StringAttr("scheme", scheme),
@@ -163,7 +174,7 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 					trace.IntAttr("collisions", res.Collisions),
 					trace.BoolAttr("decision", res.Decision),
 				)
-				b.End()
+				f.End()
 			}
 			return float64(res.Slots), nil
 		}
@@ -200,7 +211,7 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 	default:
 		return nil, "", fmt.Errorf("unknown algorithm %q", alg)
 	}
-	return func(r *rng.Source) (float64, error) {
+	return func(trialN int, r *rng.Source) (float64, error) {
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
 		a := fac(ch)
 		q := metrics.Wrap(ch, reg)
@@ -213,20 +224,25 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 			}
 			q = aud
 		}
+		var fb *trace.Builder
 		var sq *trace.SpanQuerier
 		if b != nil {
-			b.Begin(trace.KindTrial, "trial "+strconv.Itoa(trialN))
-			sq = trace.NewSpanQuerier(q, b)
+			fb = b.Fork(trialN)
+			fb.Begin(trace.KindTrial, "trial "+strconv.Itoa(trialN))
+			sq = trace.NewSpanQuerier(q, fb)
 			sq.StartSession(a.Name(),
 				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
 			q = sq
 		}
 		res, err := a.Run(q, n, t, r.Split(2))
-		if aud != nil && err == nil {
-			// Finish before EndSession so the verdict annotates the span.
-			col.Add(fmt.Sprintf("%s/trial=%d", name, trialN), aud.Finish(res.Decision))
+		if aud != nil {
+			if err == nil {
+				// Finish before EndSession so the verdict annotates the span.
+				col.AddAt(trialN, fmt.Sprintf("%s/trial=%d", name, trialN), aud.Finish(res.Decision))
+			} else {
+				col.Void(fmt.Sprintf("%s/trial=%d", name, trialN))
+			}
 		}
-		trialN++
 		if sq != nil {
 			if err == nil {
 				sq.EndSession(
@@ -236,7 +252,7 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 			} else {
 				sq.EndSession(trace.StringAttr("error", err.Error()))
 			}
-			b.End() // trial span
+			fb.End() // trial span
 		}
 		if err != nil {
 			return 0, err

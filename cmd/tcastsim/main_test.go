@@ -28,7 +28,7 @@ func TestBuildTrialAllAlgorithms(t *testing.T) {
 		if name != wantName {
 			t.Errorf("%s: name = %q, want %q", alg, name, wantName)
 		}
-		cost, err := trial(rng.New(1))
+		cost, err := trial(0, rng.New(1))
 		if err != nil {
 			t.Fatalf("%s trial: %v", alg, err)
 		}
@@ -51,10 +51,11 @@ func TestBuildTrialAudited(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := trial(rng.New(uint64(i))); err != nil {
+		if _, err := trial(i, rng.New(uint64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
+	col.Flush()
 	s := col.Stats()
 	if s.Sessions != 5 {
 		t.Fatalf("graded %d sessions, want 5", s.Sessions)
@@ -79,8 +80,8 @@ func TestBuildTrialDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := trial(rng.New(7))
-	b, _ := trial(rng.New(7))
+	a, _ := trial(0, rng.New(7))
+	b, _ := trial(1, rng.New(7))
 	if a != b {
 		t.Fatalf("same seed gave %v and %v", a, b)
 	}

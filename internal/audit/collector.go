@@ -2,6 +2,7 @@ package audit
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -20,23 +21,62 @@ type WrongDecision struct {
 	CausalClass Class
 }
 
-// Collector aggregates verdicts across a campaign. It is safe for
-// concurrent Add calls (the experiment harness serializes audited runs for
-// deterministic output, but command-line use may not).
+// Collector aggregates verdicts across a campaign. All methods are safe
+// for concurrent use. The counters are commutative, so concurrent trials
+// may fold verdicts in any arrival order; only the wrong-decision rows are
+// order-sensitive. Serial callers append them directly with Add; parallel
+// trial pools use AddAt with the trial index, then Flush once the batch
+// drains, so the dump lists rows in trial order regardless of worker
+// count.
 type Collector struct {
 	mu         sync.Mutex
 	sessions   int
 	polls      int
+	voided     int
 	outcomes   [NumOutcomes]int
 	classes    [NumClasses]int
 	invariants [NumInvariants]int
 	wrong      []WrongDecision
+	pending    map[int]WrongDecision
 }
 
 // Add folds one session's verdict into the collector.
 func (c *Collector) Add(session string, v Verdict) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.fold(v)
+	if v.Outcome != OutcomeCorrect {
+		c.wrong = append(c.wrong, WrongDecision{
+			Session: session, Outcome: v.Outcome,
+			CausalPoll: v.CausalPoll, CausalClass: v.CausalClass,
+		})
+	}
+}
+
+// AddAt folds the verdict of the trial at index i. Counters fold
+// immediately; a wrong-decision row is buffered under i and only joins
+// the dump when Flush splices the batch in index order. Indices must be
+// unique within a batch (they are trial indices); reusing one panics.
+func (c *Collector) AddAt(i int, session string, v Verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fold(v)
+	if v.Outcome != OutcomeCorrect {
+		if _, dup := c.pending[i]; dup {
+			panic(fmt.Sprintf("audit: AddAt(%d) called twice in one batch", i))
+		}
+		if c.pending == nil {
+			c.pending = make(map[int]WrongDecision)
+		}
+		c.pending[i] = WrongDecision{
+			Session: session, Outcome: v.Outcome,
+			CausalPoll: v.CausalPoll, CausalClass: v.CausalClass,
+		}
+	}
+}
+
+// fold accumulates the commutative counters; callers hold c.mu.
+func (c *Collector) fold(v Verdict) {
 	c.sessions++
 	c.polls += v.Polls
 	c.outcomes[v.Outcome]++
@@ -46,12 +86,44 @@ func (c *Collector) Add(session string, v Verdict) {
 	for _, viol := range v.Violations {
 		c.invariants[viol.Invariant]++
 	}
-	if v.Outcome != OutcomeCorrect {
-		c.wrong = append(c.wrong, WrongDecision{
-			Session: session, Outcome: v.Outcome,
-			CausalPoll: v.CausalPoll, CausalClass: v.CausalClass,
-		})
+}
+
+// Flush splices the rows buffered by AddAt into the dump in ascending
+// trial-index order. Call it after each trial batch drains — indices
+// restart at zero every batch, so flushing late would collide.
+func (c *Collector) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idxs := make([]int, 0, len(c.pending))
+	for i := range c.pending {
+		idxs = append(idxs, i)
 	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		c.wrong = append(c.wrong, c.pending[i])
+	}
+	c.pending = nil
+}
+
+// Discard drops the rows buffered by AddAt without emitting them — the
+// error path: when a batch fails, the buffered subset is
+// scheduling-dependent, so keeping it would make the dump
+// nondeterministic.
+func (c *Collector) Discard() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = nil
+}
+
+// Void records a session that was started (its polls were graded live)
+// but never reached a decision — the algorithm errored out — so there is
+// no verdict to fold. Voided sessions keep the session accounting honest:
+// sessions graded plus sessions voided equals sessions started.
+func (c *Collector) Void(session string) {
+	_ = session // voided sessions are counted, not listed
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.voided++
 }
 
 // AddDecision grades a session from its decision alone — the wire-only
@@ -73,8 +145,12 @@ func (c *Collector) AddDecision(session string, decision, truth bool) {
 
 // Stats is a consistent snapshot of a Collector.
 type Stats struct {
-	Sessions   int
-	Polls      int
+	Sessions int
+	Polls    int
+	// Voided counts sessions started but never decided (the algorithm
+	// errored before a decision); they are excluded from Sessions and the
+	// outcome counts.
+	Voided     int
 	Outcomes   [NumOutcomes]int
 	Classes    [NumClasses]int
 	Invariants [NumInvariants]int
@@ -82,13 +158,15 @@ type Stats struct {
 	Wrong []WrongDecision
 }
 
-// Stats returns a snapshot.
+// Stats returns a snapshot. Rows still buffered by AddAt are not
+// included; Flush first to see a batch in progress.
 func (c *Collector) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
 		Sessions:   c.sessions,
 		Polls:      c.polls,
+		Voided:     c.voided,
 		Outcomes:   c.outcomes,
 		Classes:    c.classes,
 		Invariants: c.invariants,
@@ -125,6 +203,9 @@ func (c *Collector) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "audit: %d sessions, %d polls, accuracy %.2f%%\n",
 		s.Sessions, s.Polls, 100*s.Accuracy())
+	if s.Voided > 0 {
+		fmt.Fprintf(&b, "  voided: %d sessions errored before a decision\n", s.Voided)
+	}
 	fmt.Fprintf(&b, "  outcomes:")
 	for o := Outcome(0); int(o) < NumOutcomes; o++ {
 		fmt.Fprintf(&b, " %s=%d", o, s.Outcomes[o])

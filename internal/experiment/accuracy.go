@@ -32,13 +32,14 @@ const (
 // accMissPcts are the swept per-reply loss probabilities, in percent.
 var accMissPcts = []int{0, 2, 5, 10, 15, 20}
 
-// accuracyPoint runs one miss-rate point's trials and returns the graded
-// collector alongside the per-trial correctness values.
+// accuracyPoint runs one miss-rate point's trials (at full worker
+// parallelism; verdicts are inserted under their trial index so the
+// dumps are order-deterministic) and returns the graded collector
+// alongside the per-trial correctness values.
 func accuracyPoint(missPct int, o Options, root *rng.Source) (*audit.Collector, []float64, error) {
 	col := &audit.Collector{}
 	miss := float64(missPct) / 100
-	trial := 0
-	values, err := RunTrials(o.runs(200), 1, root, func(r *rng.Source) (float64, error) {
+	values, err := RunTrials(o.runs(200), o.workers(), root, func(trial int, r *rng.Source) (float64, error) {
 		med := radio.NewMedium(radio.Config{MissProb: miss}, r.Split(1))
 		parts := make([]*pollcast.Participant, accN)
 		positive := make(map[int]bool, accX)
@@ -58,17 +59,22 @@ func accuracyPoint(missPct int, o Options, root *rng.Source) (*audit.Collector, 
 			return 0, err
 		}
 		q = aud
+		label := fmt.Sprintf("2tBins/backcast/miss=%d%%/trial=%d", missPct, trial)
 		res, err := (core.TwoTBins{}).Run(q, accN, accT, r.Split(3))
 		if err != nil {
+			// Polls were graded live but the session never reached a
+			// decision; void it so session accounting stays consistent.
+			col.Void(label)
+			if o.Audit != nil {
+				o.Audit.Void(label)
+			}
 			return 0, err
 		}
 		metrics.FinishSession(q)
-		label := fmt.Sprintf("2tBins/backcast/miss=%d%%/trial=%d", missPct, trial)
-		trial++
 		v := aud.Finish(res.Decision)
-		col.Add(label, v)
+		col.AddAt(trial, label, v)
 		if o.Audit != nil {
-			o.Audit.Add(label, v)
+			o.Audit.AddAt(trial, label, v)
 		}
 		if v.Correct() {
 			return 1, nil
@@ -76,7 +82,14 @@ func accuracyPoint(missPct int, o Options, root *rng.Source) (*audit.Collector, 
 		return 0, nil
 	})
 	if err != nil {
+		if o.Audit != nil {
+			o.Audit.Discard()
+		}
 		return nil, nil, err
+	}
+	col.Flush()
+	if o.Audit != nil {
+		o.Audit.Flush()
 	}
 	return col, values, nil
 }

@@ -42,19 +42,23 @@ type Options struct {
 	Metrics *metrics.Registry
 	// Trace, when non-nil, receives a structured span recording of the
 	// run: series → point → trial → session → round → poll, with
-	// virtual-time intervals from the cost model. Tracing forces the
-	// worker count to one so spans are emitted in trial order and the
-	// encoded trace depends only on the seed; like Metrics, it consumes
-	// no randomness, so the computed tables are bit-identical with and
-	// without it.
+	// virtual-time intervals from the cost model. Trials run at full
+	// worker parallelism: each trial records into its own fork of the
+	// builder (trace.Builder.Fork) and the sweep grafts the fragments
+	// back in trial-index order after the point's pool drains, so the
+	// encoded trace depends only on the seed, never the worker count.
+	// Like Metrics, tracing consumes no randomness, so the computed
+	// tables are bit-identical with and without it.
 	Trace *trace.Builder
 	// Audit, when non-nil, grades every session against the substrate's
 	// ground truth: each trial's querier chain gains an audit.Auditor and
 	// its verdict (decision outcome, poll soundness classes, invariant
 	// violations, causal poll for wrong decisions) is folded into the
-	// collector. Auditing forces the worker count to one so session labels
-	// and the collector's wrong-decision rows are in deterministic trial
-	// order; like the other two layers it consumes no randomness, so the
+	// collector. Trials run at full worker parallelism: verdicts are
+	// inserted under their trial index (Collector.AddAt) and the sweep
+	// flushes each point's batch in index order, so session labels and
+	// wrong-decision rows are in deterministic trial order for any worker
+	// count. Like the other two layers it consumes no randomness, so the
 	// computed tables are bit-identical with and without it.
 	Audit *audit.Collector
 }
@@ -67,14 +71,6 @@ func (o Options) runs(def int) int {
 }
 
 func (o Options) workers() int {
-	// Span order must be deterministic for traces to be byte-identical
-	// across runs, so tracing serializes the trial pool; auditing does the
-	// same so the collector's session labels and wrong-decision rows are
-	// in trial order. RunTrials produces the same values for any worker
-	// count, so this changes only wall-clock speed, never results.
-	if o.Trace != nil || o.Audit != nil {
-		return 1
-	}
 	if o.Workers > 0 {
 		return o.Workers
 	}
@@ -83,8 +79,11 @@ func (o Options) workers() int {
 
 // RunTrials evaluates trial runs times on independent derived streams,
 // fanned out over the worker pool, returning the per-trial values in
-// trial-index order. Trial i always receives the stream root.Split(i), so
-// the output is bit-identical regardless of worker count.
+// trial-index order. Trial i always receives its own index and the stream
+// root.Split(i), so the output is bit-identical regardless of worker
+// count; the index also keys each trial's observation context (trace
+// forks, audit rows), which is how traced and audited sweeps stay
+// deterministic at full parallelism.
 //
 // On failure RunTrials returns (nil, err): any partially computed values
 // are discarded, never exposed. The first recorded failure cancels the
@@ -93,7 +92,7 @@ func (o Options) workers() int {
 // deterministically the one from the lowest-indexed failing trial. (All
 // trials below the lowest failure still run, so the winner cannot depend
 // on goroutine scheduling.)
-func RunTrials(runs, workers int, root *rng.Source, trial func(r *rng.Source) (float64, error)) ([]float64, error) {
+func RunTrials(runs, workers int, root *rng.Source, trial func(i int, r *rng.Source) (float64, error)) ([]float64, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("experiment: runs must be positive, got %d", runs)
 	}
@@ -122,7 +121,7 @@ func RunTrials(runs, workers int, root *rng.Source, trial func(r *rng.Source) (f
 				if int64(i) > failIdx.Load() {
 					return
 				}
-				v, err := trial(root.Split(uint64(i)))
+				v, err := trial(i, root.Split(uint64(i)))
 				if err != nil {
 					mu.Lock()
 					if int64(i) < failIdx.Load() {
@@ -145,7 +144,7 @@ func RunTrials(runs, workers int, root *rng.Source, trial func(r *rng.Source) (f
 
 // MeanParallel runs RunTrials and folds the values (in index order, so
 // floating-point accumulation is deterministic) into a stats.Running.
-func MeanParallel(runs, workers int, root *rng.Source, trial func(r *rng.Source) (float64, error)) (stats.Running, error) {
+func MeanParallel(runs, workers int, root *rng.Source, trial func(i int, r *rng.Source) (float64, error)) (stats.Running, error) {
 	values, err := RunTrials(runs, workers, root, trial)
 	if err != nil {
 		return stats.Running{}, err
@@ -157,8 +156,9 @@ func MeanParallel(runs, workers int, root *rng.Source, trial func(r *rng.Source)
 	return total, nil
 }
 
-// pointCost is the per-trial measurement for one sweep point.
-type pointCost func(r *rng.Source) (float64, error)
+// pointCost is the per-trial measurement for one sweep point; i is the
+// trial index, which keys the trial's observation context.
+type pointCost func(i int, r *rng.Source) (float64, error)
 
 // sweep builds one series by evaluating cost at every x. When o.Metrics is
 // set, each point additionally reports its wall-clock duration and trial
@@ -180,9 +180,25 @@ func sweep(name string, xs []int, o Options, root *rng.Source, cost func(x int) 
 		start := time.Now()
 		acc, err := MeanParallel(runs, workers, root.Split(uint64(x)), cost(x))
 		if b := o.Trace; b != nil {
-			// Close the point span before the error check so the builder's
-			// stack stays balanced on every return path.
+			// Splice the per-trial forks under the point span in trial-index
+			// order; a failed point drops its fragments instead (the surviving
+			// subset is scheduling-dependent). Close the point span before the
+			// error check so the builder's stack stays balanced on every
+			// return path.
+			if err == nil {
+				b.Graft()
+			} else {
+				b.DropForks()
+			}
 			b.End()
+		}
+		if c := o.Audit; c != nil {
+			// Same batching for the collector's order-sensitive rows.
+			if err == nil {
+				c.Flush()
+			} else {
+				c.Discard()
+			}
 		}
 		if err != nil {
 			return nil, fmt.Errorf("experiment: series %s at x=%d: %w", name, x, err)
@@ -218,12 +234,7 @@ func plainAlg(a core.Algorithm) algChannelFactory {
 // span). No wrapper consumes randomness, so the measured values are
 // identical in every combination.
 func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options) pointCost {
-	// Trial spans and audit session labels are numbered in emission
-	// order. The counter is only touched when tracing or auditing, and
-	// both serialize the trial pool (Options.workers), so it needs no
-	// synchronization.
-	trial := 0
-	return func(r *rng.Source) (float64, error) {
+	return func(trial int, r *rng.Source) (float64, error) {
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
 		alg := fac(ch)
 		q := metrics.Wrap(ch, o.Metrics)
@@ -238,22 +249,30 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 			}
 			q = aud
 		}
+		var fb *trace.Builder
 		var sq *trace.SpanQuerier
 		if b := o.Trace; b != nil {
-			b.Begin(trace.KindTrial, "trial "+strconv.Itoa(trial))
-			sq = trace.NewSpanQuerier(q, b)
+			// Record into a private fork of the shared builder; the sweep
+			// grafts it back under the point span once the pool drains.
+			fb = b.Fork(trial)
+			fb.Begin(trace.KindTrial, "trial "+strconv.Itoa(trial))
+			sq = trace.NewSpanQuerier(q, fb)
 			sq.StartSession(alg.Name(),
 				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
 			q = sq
 		}
-		if o.Audit != nil || o.Trace != nil {
-			trial++
-		}
 		res, err := alg.Run(q, n, t, r.Split(2))
-		if aud != nil && err == nil {
-			// Finish before EndSession so the verdict annotates the
-			// closing session span.
-			o.Audit.Add(label, aud.Finish(res.Decision))
+		if aud != nil {
+			if err == nil {
+				// Finish before EndSession so the verdict annotates the
+				// closing session span.
+				o.Audit.AddAt(trial, label, aud.Finish(res.Decision))
+			} else {
+				// The session started (its polls were graded live) but never
+				// reached a decision; void it so the collector's session
+				// accounting stays consistent with sessions started.
+				o.Audit.Void(label)
+			}
 		}
 		if sq != nil {
 			if err == nil {
@@ -264,7 +283,7 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 			} else {
 				sq.EndSession(trace.StringAttr("error", err.Error()))
 			}
-			o.Trace.End() // trial span
+			fb.End() // trial span
 		}
 		if err != nil {
 			return 0, err

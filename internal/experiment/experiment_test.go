@@ -11,7 +11,7 @@ import (
 )
 
 func TestMeanParallelDeterministicAcrossWorkerCounts(t *testing.T) {
-	trial := func(r *rng.Source) (float64, error) { return r.Float64(), nil }
+	trial := func(_ int, r *rng.Source) (float64, error) { return r.Float64(), nil }
 	means := make([]float64, 0, 4)
 	for _, workers := range []int{1, 2, 4, 16} {
 		acc, err := MeanParallel(100, workers, rng.New(7), trial)
@@ -29,7 +29,7 @@ func TestMeanParallelDeterministicAcrossWorkerCounts(t *testing.T) {
 
 func TestMeanParallelPropagatesErrors(t *testing.T) {
 	calls := 0
-	trial := func(r *rng.Source) (float64, error) {
+	trial := func(_ int, r *rng.Source) (float64, error) {
 		calls++
 		return 0, fmt.Errorf("boom")
 	}
@@ -46,7 +46,7 @@ func TestMeanParallelRejectsZeroRuns(t *testing.T) {
 }
 
 func TestMeanParallelCountsAllRuns(t *testing.T) {
-	acc, err := MeanParallel(137, 8, rng.New(1), func(r *rng.Source) (float64, error) { return 1, nil })
+	acc, err := MeanParallel(137, 8, rng.New(1), func(_ int, r *rng.Source) (float64, error) { return 1, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestExperimentDeterminism(t *testing.T) {
 func TestSweepProducesCIs(t *testing.T) {
 	root := rng.New(3)
 	s, err := sweep("s", []int{1, 2}, Options{Runs: 50, Workers: 4}, root, func(x int) pointCost {
-		return func(r *rng.Source) (float64, error) { return float64(x) + r.Float64(), nil }
+		return func(_ int, r *rng.Source) (float64, error) { return float64(x) + r.Float64(), nil }
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -39,7 +39,7 @@ func init() {
 			// poll of that bin.
 			algReplies := func(alg core.Algorithm) func(x int) pointCost {
 				return func(x int) pointCost {
-					return func(r *rng.Source) (float64, error) {
+					return func(_ int, r *rng.Source) (float64, error) {
 						ch, _ := fastsim.RandomPositives(defaultN, x, fastsim.DefaultConfig(), r.Split(1))
 						if _, err := alg.Run(ch, defaultN, defaultT, r.Split(2)); err != nil {
 							return 0, err
@@ -59,7 +59,7 @@ func init() {
 			// participant; the simulator counts collision slots, and at
 			// least two stations transmit in each.
 			csma, err := sweep("CSMA", xs, o, root.Split(10), func(x int) pointCost {
-				return func(r *rng.Source) (float64, error) {
+				return func(_ int, r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
 						pos.Add(id)
@@ -75,7 +75,7 @@ func init() {
 			// Sequential: exactly the positives scheduled before the
 			// decision transmit.
 			seq, err := sweep("Sequential", xs, o, root.Split(11), func(x int) pointCost {
-				return func(r *rng.Source) (float64, error) {
+				return func(_ int, r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
 						pos.Add(id)
@@ -105,7 +105,7 @@ func init() {
 			}
 			tcastMS := func(alg core.Algorithm) func(x int) pointCost {
 				return func(x int) pointCost {
-					return func(r *rng.Source) (float64, error) {
+					return func(_ int, r *rng.Source) (float64, error) {
 						ch, _ := fastsim.RandomPositives(defaultN, x, fastsim.DefaultConfig(), r.Split(1))
 						res, err := alg.Run(ch, defaultN, defaultT, r.Split(2))
 						if err != nil {
@@ -123,7 +123,7 @@ func init() {
 				tab.Add(s)
 			}
 			csma, err := sweep("CSMA", xs, o, root.Split(10), func(x int) pointCost {
-				return func(r *rng.Source) (float64, error) {
+				return func(_ int, r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
 						pos.Add(id)
@@ -137,7 +137,7 @@ func init() {
 			}
 			tab.Add(csma)
 			seq, err := sweep("Sequential", xs, o, root.Split(11), func(x int) pointCost {
-				return func(r *rng.Source) (float64, error) {
+				return func(_ int, r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
 						pos.Add(id)
@@ -167,7 +167,7 @@ func init() {
 				XLabel: "positive nodes x", YLabel: "millijoules per participant",
 			}
 			tcastEnergy, err := sweep("tcast (2tBins/backcast)", xs, o, root.Split(1), func(x int) pointCost {
-				return func(r *rng.Source) (float64, error) {
+				return func(_ int, r *rng.Source) (float64, error) {
 					ch, _ := fastsim.RandomPositives(defaultN, x, fastsim.DefaultConfig(), r.Split(1))
 					rec := trace.NewRecorder(ch)
 					res, err := (core.TwoTBins{}).Run(rec, defaultN, defaultT, r.Split(2))
@@ -183,7 +183,7 @@ func init() {
 			}
 			tab.Add(tcastEnergy)
 			csmaEnergy, err := sweep("CSMA", xs, o, root.Split(2), func(x int) pointCost {
-				return func(r *rng.Source) (float64, error) {
+				return func(_ int, r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					ids := r.Split(1).Sample(defaultN, x)
 					for _, id := range ids {
@@ -199,7 +199,7 @@ func init() {
 			}
 			tab.Add(csmaEnergy)
 			seqEnergy, err := sweep("Sequential", xs, o, root.Split(3), func(x int) pointCost {
-				return func(r *rng.Source) (float64, error) {
+				return func(_ int, r *rng.Source) (float64, error) {
 					pos := bitset.New(defaultN)
 					for _, id := range r.Split(1).Sample(defaultN, x) {
 						pos.Add(id)
@@ -300,8 +300,7 @@ func init() {
 			for i, k := range []int{1, 2, 4, 8} {
 				k := k
 				s, err := sweep(fmt.Sprintf("k=%d", k), xs, o, root.Split(uint64(i)), func(x int) pointCost {
-					trial := 0 // only touched when tracing, which serializes trials
-					return func(r *rng.Source) (float64, error) {
+					return func(trial int, r *rng.Source) (float64, error) {
 						ch := kplus.RandomChannel(k, defaultN, x, r.Split(1))
 						res, err := kplus.Threshold(ch, defaultN, defaultT, r.Split(2))
 						if err != nil {
@@ -309,9 +308,9 @@ func init() {
 						}
 						if b := o.Trace; b != nil {
 							// One RCD slot per k+ group query, like fastsim.
-							sp := b.Begin(trace.KindTrial, fmt.Sprintf("trial %d", trial))
-							trial++
-							b.Advance(int64(res.Queries))
+							f := b.Fork(trial)
+							sp := f.Begin(trace.KindTrial, fmt.Sprintf("trial %d", trial))
+							f.Advance(int64(res.Queries))
 							sp.SetAttr(
 								trace.StringAttr("substrate", "kplus"),
 								trace.IntAttr("k", k),
@@ -319,7 +318,7 @@ func init() {
 								trace.IntAttr("queries", res.Queries),
 								trace.BoolAttr("decision", res.Decision),
 							)
-							b.End()
+							f.End()
 						}
 						if res.Decision != (x >= defaultT) {
 							return 0, fmt.Errorf("k=%d wrong decision at x=%d", k, x)
@@ -347,7 +346,7 @@ func init() {
 				XLabel: "positive nodes x", YLabel: "queries",
 			}
 			ident, err := sweep("Identify (exact set)", xs, o, root.Split(1), func(x int) pointCost {
-				return func(r *rng.Source) (float64, error) {
+				return func(_ int, r *rng.Source) (float64, error) {
 					ch, truth := fastsim.RandomPositives(defaultN, x, fastsim.DefaultConfig(), r.Split(1))
 					got, queries, err := count.Identify(ch, defaultN)
 					if err != nil {
@@ -364,7 +363,7 @@ func init() {
 			}
 			tab.Add(ident)
 			est, err := sweep("Estimate (±2x)", xs, o, root.Split(2), func(x int) pointCost {
-				return func(r *rng.Source) (float64, error) {
+				return func(_ int, r *rng.Source) (float64, error) {
 					ch, _ := fastsim.RandomPositives(defaultN, x, fastsim.DefaultConfig(), r.Split(1))
 					members := make([]int, defaultN)
 					for i := range members {

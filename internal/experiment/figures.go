@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"tcast/internal/baseline"
@@ -46,23 +47,8 @@ func xSweep(n, t int) []int {
 		add(v)
 	}
 	add(n)
-	sortInts(xs)
+	sort.Ints(xs)
 	return xs
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // baselineTrialSpan renders one abstract-baseline trial as a leaf trial
@@ -85,16 +71,14 @@ func baselineTrialSpan(b *trace.Builder, scheme string, trial, n, t, x int, res 
 
 // csmaCost measures the CSMA baseline's slot count.
 func csmaCost(n, t, x int, o Options) pointCost {
-	trial := 0 // only touched when tracing, which serializes trials
-	return func(r *rng.Source) (float64, error) {
+	return func(trial int, r *rng.Source) (float64, error) {
 		pos := bitset.New(n)
 		for _, id := range r.Split(1).Sample(n, x) {
 			pos.Add(id)
 		}
 		res := baseline.CSMA{}.Run(n, t, pos, r.Split(2))
 		if b := o.Trace; b != nil {
-			baselineTrialSpan(b, "csma", trial, n, t, x, res)
-			trial++
+			baselineTrialSpan(b.Fork(trial), "csma", trial, n, t, x, res)
 		}
 		if res.Decision != (x >= t) {
 			return 0, fmt.Errorf("csma: wrong decision for x=%d t=%d", x, t)
@@ -105,16 +89,14 @@ func csmaCost(n, t, x int, o Options) pointCost {
 
 // sequentialCost measures the sequential-ordering baseline's slot count.
 func sequentialCost(n, t, x int, o Options) pointCost {
-	trial := 0
-	return func(r *rng.Source) (float64, error) {
+	return func(trial int, r *rng.Source) (float64, error) {
 		pos := bitset.New(n)
 		for _, id := range r.Split(1).Sample(n, x) {
 			pos.Add(id)
 		}
 		res := baseline.Sequential{}.Run(n, t, pos, r.Split(2))
 		if b := o.Trace; b != nil {
-			baselineTrialSpan(b, "sequential", trial, n, t, x, res)
-			trial++
+			baselineTrialSpan(b.Fork(trial), "sequential", trial, n, t, x, res)
 		}
 		if res.Decision != (x >= t) {
 			return 0, fmt.Errorf("sequential: wrong decision for x=%d t=%d", x, t)
@@ -575,7 +557,7 @@ func abnsFigure(probabilistic bool) func(o Options) (*stats.Table, error) {
 // detectorAccuracyCost returns a trial measuring the bimodal detector's
 // correctness (1 correct, 0 wrong) at mode separation d.
 func detectorAccuracyCost(n int, d float64, repeats func(tl, tr float64) int) pointCost {
-	return func(r *rng.Source) (float64, error) {
+	return func(_ int, r *rng.Source) (float64, error) {
 		bi := dist.SymmetricBimodal(n, d, 0)
 		tl, tr := bi.Boundaries()
 		if tl >= tr {

@@ -14,17 +14,11 @@ import (
 )
 
 // failingTrial builds a trial function that fails at exactly the given
-// indices. RunTrials derives trial i's stream as root.Split(i), so the
-// trial can recover its own index by matching the stream's first output.
-func failingTrial(root *rng.Source, runs int, failAt map[int]bool) (func(r *rng.Source) (float64, error), *int32) {
-	first := make(map[uint64]int, runs)
-	for i := 0; i < runs; i++ {
-		first[root.Split(uint64(i)).Uint64()] = i
-	}
+// indices, using the index RunTrials now passes directly.
+func failingTrial(failAt map[int]bool) (func(i int, r *rng.Source) (float64, error), *int32) {
 	var executed int32
-	return func(r *rng.Source) (float64, error) {
+	return func(i int, r *rng.Source) (float64, error) {
 		atomic.AddInt32(&executed, 1)
-		i := first[r.Uint64()]
 		if failAt[i] {
 			return 0, fmt.Errorf("trial %d failed", i)
 		}
@@ -40,9 +34,8 @@ func TestRunTrialsErrorDeterministic(t *testing.T) {
 	failAt := map[int]bool{399: true, 123: true, 124: true, 350: true}
 	for _, workers := range []int{1, 2, 3, 8, 32} {
 		for rep := 0; rep < 5; rep++ {
-			root := rng.New(42)
-			trial, _ := failingTrial(root, runs, failAt)
-			values, err := RunTrials(runs, workers, root, trial)
+			trial, _ := failingTrial(failAt)
+			values, err := RunTrials(runs, workers, rng.New(42), trial)
 			if values != nil {
 				t.Fatalf("workers=%d: partial values exposed on error", workers)
 			}
@@ -57,15 +50,10 @@ func TestRunTrialsErrorDeterministic(t *testing.T) {
 // on one stripe must stop the other (slow) stripe long before it finishes.
 func TestRunTrialsCancelsAfterFailure(t *testing.T) {
 	const runs = 200
-	root := rng.New(1)
-	first := make(map[uint64]int, runs)
-	for i := 0; i < runs; i++ {
-		first[root.Split(uint64(i)).Uint64()] = i
-	}
 	var executed int32
-	_, err := RunTrials(runs, 2, root, func(r *rng.Source) (float64, error) {
+	_, err := RunTrials(runs, 2, rng.New(1), func(i int, r *rng.Source) (float64, error) {
 		atomic.AddInt32(&executed, 1)
-		if first[r.Uint64()] == 1 {
+		if i == 1 {
 			return 0, fmt.Errorf("trial 1 failed")
 		}
 		// Surviving trials are slow, so by the time the even-stripe
@@ -87,9 +75,8 @@ func TestRunTrialsCancelsAfterFailure(t *testing.T) {
 
 func TestRunTrialsSingleFailureAtEnd(t *testing.T) {
 	const runs = 50
-	root := rng.New(7)
-	trial, executed := failingTrial(root, runs, map[int]bool{49: true})
-	_, err := RunTrials(runs, 4, root, trial)
+	trial, executed := failingTrial(map[int]bool{49: true})
+	_, err := RunTrials(runs, 4, rng.New(7), trial)
 	if err == nil || err.Error() != "trial 49 failed" {
 		t.Fatalf("err = %v", err)
 	}

@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"tcast/internal/audit"
+	"tcast/internal/rng"
+	"tcast/internal/trace"
+)
+
+// These are the acceptance tests for parallel observability: with
+// per-trial observation contexts, the worker count may change only
+// wall-clock speed — the encoded trace bytes, the audit dump, and the
+// result tables must be bit-identical for Workers=1 and Workers=N.
+
+// tracedRun executes the experiment with a fresh builder and returns the
+// rendered table plus the encoded trace bytes.
+func tracedRun(t *testing.T, e Experiment, workers int) (string, []byte) {
+	t.Helper()
+	b := trace.NewBuilder()
+	b.Begin(trace.KindExperiment, e.ID)
+	tab, err := e.Run(Options{Runs: 20, Seed: 2011, Workers: workers, Trace: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.End()
+	enc, err := trace.EncodeBytes(b.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Render(tab), enc
+}
+
+// TestTraceBytesWorkerIndependent covers the three traced trial shapes:
+// tcast sessions (fig1 also includes the CSMA/Sequential baseline spans),
+// every algorithm/model combination (fig3), and the k+ substrate's inline
+// trial spans (ext-kplus).
+func TestTraceBytesWorkerIndependent(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 8 // still exercises the fork path, just with more stripes than cores
+	}
+	for _, id := range []string{"fig1", "fig3", "ext-kplus"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialTab, serialEnc := tracedRun(t, e, 1)
+		parallelTab, parallelEnc := tracedRun(t, e, workers)
+		if serialTab != parallelTab {
+			t.Fatalf("%s: worker count changed the table:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				id, serialTab, workers, parallelTab)
+		}
+		if !bytes.Equal(serialEnc, parallelEnc) {
+			t.Fatalf("%s: trace bytes differ between workers=1 and workers=%d", id, workers)
+		}
+		// The trace must actually contain the per-trial structure.
+		tr, err := trace.Decode(bytes.NewReader(parallelEnc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a := trace.Analyze(tr); a.Phases[trace.KindTrial].Spans == 0 {
+			t.Fatalf("%s: no trial spans in parallel trace", id)
+		}
+	}
+}
+
+// auditedRun executes the experiment with a fresh collector and returns
+// the rendered table plus the collector dump.
+func auditedRun(t *testing.T, e Experiment, workers int) (string, string) {
+	t.Helper()
+	col := &audit.Collector{}
+	tab, err := e.Run(Options{Runs: 20, Seed: 2011, Workers: workers, Audit: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Render(tab), col.Summary()
+}
+
+// TestAuditDumpWorkerIndependent: fig1 exercises the lossless grading
+// path; tab-acc is the one that produces wrong-decision rows, so it pins
+// down the collector's row ordering under parallel insertion.
+func TestAuditDumpWorkerIndependent(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 8
+	}
+	for _, id := range []string{"fig1", "tab-acc"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialTab, serialDump := auditedRun(t, e, 1)
+		parallelTab, parallelDump := auditedRun(t, e, workers)
+		if serialTab != parallelTab {
+			t.Fatalf("%s: worker count changed the audited table", id)
+		}
+		if serialDump != parallelDump {
+			t.Fatalf("%s: audit dump differs between workers=1 and workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				id, workers, serialDump, workers, parallelDump)
+		}
+	}
+}
+
+// TestTabAccWrongRowsOrdered: the lossy campaign's wrong decisions must
+// come out labeled in ascending trial order within each miss-rate point,
+// whatever the parallelism.
+func TestTabAccWrongRowsOrdered(t *testing.T) {
+	e, err := Get("tab-acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &audit.Collector{}
+	if _, err := e.Run(Options{Runs: 40, Seed: 2011, Audit: col}); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Stats()
+	if len(s.Wrong) == 0 {
+		t.Skip("no wrong decisions at this seed; ordering vacuous")
+	}
+	lastMiss, lastTrial := -1, -1
+	for _, w := range s.Wrong {
+		var miss, trial int
+		if _, err := fmt.Sscanf(w.Session, "2tBins/backcast/miss=%d%%/trial=%d", &miss, &trial); err != nil {
+			t.Fatalf("unparseable session label %q: %v", w.Session, err)
+		}
+		if miss < lastMiss || (miss == lastMiss && trial <= lastTrial) {
+			t.Fatalf("rows out of trial order: %q after miss=%d trial=%d", w.Session, lastMiss, lastTrial)
+		}
+		lastMiss, lastTrial = miss, trial
+	}
+}
+
+// TestRunTrialsIndexedLowestErrorWins re-checks the lowest-index-error
+// guarantee now that trial functions receive their index directly, with
+// far more workers than cores (run under -race in CI).
+func TestRunTrialsIndexedLowestErrorWins(t *testing.T) {
+	const runs = 500
+	failAt := map[int]bool{17: true, 250: true, 251: true, 499: true}
+	for _, workers := range []int{1, 7, 64, runs} {
+		for rep := 0; rep < 3; rep++ {
+			values, err := RunTrials(runs, workers, rng.New(9), func(i int, r *rng.Source) (float64, error) {
+				if failAt[i] {
+					return 0, fmt.Errorf("trial %d failed", i)
+				}
+				return float64(i), nil
+			})
+			if values != nil {
+				t.Fatalf("workers=%d: partial values exposed on error", workers)
+			}
+			if err == nil || err.Error() != "trial 17 failed" {
+				t.Fatalf("workers=%d: err = %v, want the lowest-indexed failure (trial 17)", workers, err)
+			}
+		}
+	}
+}
+
+// TestSweepErrorDropsObservationBatch: a failing point must not leak a
+// scheduling-dependent subset of trace forks or audit rows.
+func TestSweepErrorDropsObservationBatch(t *testing.T) {
+	b := trace.NewBuilder()
+	col := &audit.Collector{}
+	o := Options{Runs: 10, Workers: 4, Trace: b, Audit: col}
+	_, err := sweep("s", []int{1}, o, rng.New(1), func(x int) pointCost {
+		return func(i int, r *rng.Source) (float64, error) {
+			f := b.Fork(i)
+			f.Begin(trace.KindTrial, "trial")
+			f.End()
+			if i >= 2 {
+				return 0, fmt.Errorf("trial %d failed", i)
+			}
+			return 1, nil
+		}
+	})
+	if err == nil {
+		t.Fatal("sweep error swallowed")
+	}
+	if n := b.PendingForks(); n != 0 {
+		t.Fatalf("%d forks left pending after failed sweep", n)
+	}
+	if tr := b.Trace(); tr.NumSpans() != 2 {
+		// Only the series and point spans survive; no trial fragments.
+		t.Fatalf("failed sweep leaked trial spans: %d spans", tr.NumSpans())
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the concurrency story of the span model. A Builder is
+// single-threaded by design — span order defines the encoded bytes — yet
+// the experiment harness runs trials on every core. Fork/Graft reconcile
+// the two: each trial records into its own independent sub-builder
+// (obtained with Fork, concurrency-safe), and once the worker pool drains
+// the parent grafts the fragments back in trial-index order, re-basing
+// their virtual-time offsets onto its own clock. The merged trace is
+// byte-identical to what serial emission in index order would have
+// produced, so worker count changes wall-clock speed and nothing else.
+
+// Fork returns an independent sub-builder for the trial at index i: a
+// fresh Builder with its virtual clock at zero, registered with b under i
+// for a later Graft. Fork is safe to call from concurrent trial
+// goroutines (everything else on Builder is not). Forking the same index
+// twice in one batch panics — it means two trials claimed the same slot
+// and the graft order would be ambiguous.
+func (b *Builder) Fork(i int) *Builder {
+	f := NewBuilder()
+	b.forkMu.Lock()
+	defer b.forkMu.Unlock()
+	if b.forks == nil {
+		b.forks = make(map[int]*Builder)
+	}
+	if _, dup := b.forks[i]; dup {
+		panic(fmt.Sprintf("trace: Fork(%d) called twice in one batch", i))
+	}
+	b.forks[i] = f
+	return f
+}
+
+// Graft splices every pending fork into b in ascending index order: each
+// fork's roots become children of b's innermost open span (or roots of b
+// when none is open), with Start/End shifted by b's clock, and b's clock
+// advances by the fork's total elapsed virtual time before the next fork
+// is spliced. The result is byte-identical to emitting the same spans
+// serially in index order. Grafting a fork with open spans panics (its
+// Begin/End calls are unbalanced). Call Graft only after the trial pool
+// has drained — it is not safe concurrently with Fork on the same batch.
+func (b *Builder) Graft() {
+	b.forkMu.Lock()
+	forks := b.forks
+	b.forks = nil
+	b.forkMu.Unlock()
+	idxs := make([]int, 0, len(forks))
+	for i := range forks {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		f := forks[i]
+		if open := f.Open(); open != 0 {
+			panic(fmt.Sprintf("trace: grafting fork %d with %d open spans", i, open))
+		}
+		for _, r := range f.roots {
+			rebase(r, b.now)
+			if len(b.stack) == 0 {
+				b.roots = append(b.roots, r)
+			} else {
+				parent := b.stack[len(b.stack)-1]
+				parent.Children = append(parent.Children, r)
+			}
+		}
+		b.now += f.now
+	}
+}
+
+// DropForks discards every pending fork without splicing — the error
+// path: when a trial batch fails, the surviving fragments are an
+// arbitrary scheduling-dependent subset, so keeping them would make the
+// trace nondeterministic.
+func (b *Builder) DropForks() {
+	b.forkMu.Lock()
+	b.forks = nil
+	b.forkMu.Unlock()
+}
+
+// PendingForks reports how many forks await grafting.
+func (b *Builder) PendingForks() int {
+	b.forkMu.Lock()
+	defer b.forkMu.Unlock()
+	return len(b.forks)
+}
+
+// rebase shifts a span tree's virtual-time intervals by d slots.
+func rebase(sp *Span, d int64) {
+	sp.Start += d
+	sp.End += d
+	for _, c := range sp.Children {
+		rebase(c, d)
+	}
+}

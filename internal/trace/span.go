@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"tcast/internal/query"
 )
@@ -162,15 +163,20 @@ func (t *Trace) NumSpans() int {
 	return n
 }
 
-// Builder assembles a span tree against a virtual clock. It is not safe
-// for concurrent use: the harness serializes trials when tracing (see
-// experiment.Options.Trace) precisely so span order — and therefore the
-// encoded bytes — depend only on the seed.
+// Builder assembles a span tree against a virtual clock. Span order
+// defines the encoded bytes, so a single builder is not safe for
+// concurrent emission — with one exception: Fork may be called from
+// concurrent trial goroutines. Each fork is an independent builder; the
+// parent splices the fragments back in trial-index order with Graft, so a
+// parallel run's trace depends only on the seed (see fork.go).
 type Builder struct {
 	now   int64
 	roots []*Span
 	stack []*Span
 	meta  []Attr
+
+	forkMu sync.Mutex
+	forks  map[int]*Builder
 }
 
 // NewBuilder returns a builder with the virtual clock at zero.
