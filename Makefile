@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench tcastbench bench-smoke bench-obs baseline figs lab cover fuzz clean
+.PHONY: all build test race lint bench tcastbench bench-smoke bench-obs bench-faults baseline figs lab cover fuzz clean
 
 all: build test
 
@@ -44,6 +44,11 @@ bench-smoke:
 # 2tBins trials/sec through the full-parallelism trial pool.
 bench-obs:
 	$(GO) run ./cmd/tcastbench -run query-2tbins -out /dev/null
+
+# The fault-injection overhead: 2tBins trials/sec with the injector and
+# retry middleware stacked above the channel, against the bare entry.
+bench-faults:
+	$(GO) run ./cmd/tcastbench -run query-2tbins-faulted -out /dev/null
 
 # Regenerate the committed perf baseline. Run the full suite on a quiet
 # machine, eyeball the diff against the previous baseline, and commit the

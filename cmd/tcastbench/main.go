@@ -37,6 +37,7 @@ import (
 	"tcast/internal/core"
 	"tcast/internal/experiment"
 	"tcast/internal/fastsim"
+	"tcast/internal/faults"
 	"tcast/internal/pollcast"
 	"tcast/internal/query"
 	"tcast/internal/radio"
@@ -49,6 +50,11 @@ const (
 	benchSchema  = "tcast-bench"
 	benchVersion = 1
 )
+
+// defaultFaultSpec exercises every injector knob at once, so the faulted
+// benchmark prices the full fault-layer hot path (burst chains, churn,
+// skew, retry middleware) rather than one mechanism.
+const defaultFaultSpec = "burst=8,frac=0.2,churn=0.002,recover=0.1,skew=0.01"
 
 // Result is one benchmark's entry in BENCH.json.
 type Result struct {
@@ -105,6 +111,7 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmark names and exit")
 		diffMode  = flag.Bool("diff", false, "diff two span-trace JSONL files (args: a.jsonl b.jsonl); exit 1 on divergence")
 		analyze   = flag.String("analyze", "", "print the per-phase virtual-time breakdown of this span-trace JSONL file")
+		faultSpec = flag.String("faults", defaultFaultSpec, "fault-injection spec for the query-2tbins-faulted benchmark")
 	)
 	flag.Parse()
 
@@ -122,7 +129,7 @@ func main() {
 		fmt.Print(trace.Analyze(t).Render())
 		return
 	case *list:
-		for _, b := range benches() {
+		for _, b := range benches(*faultSpec) {
 			marker := ""
 			if b.short {
 				marker = "  (short)"
@@ -140,7 +147,7 @@ func main() {
 		}
 		current = f
 	} else {
-		current = runBenches(*short, *run)
+		current = runBenches(*short, *run, *faultSpec)
 		if err := writeBenchFile(*out, current); err != nil {
 			fatal(err)
 		}
@@ -160,9 +167,9 @@ func main() {
 }
 
 // runBenches executes the selected benchmarks and collects results.
-func runBenches(short bool, filter string) File {
+func runBenches(short bool, filter, faultSpec string) File {
 	f := File{Schema: benchSchema, Version: benchVersion}
-	for _, b := range benches() {
+	for _, b := range benches(faultSpec) {
 		if short && !b.short {
 			continue
 		}
@@ -305,7 +312,7 @@ func shortFigure(id string) bool {
 // benches assembles the full benchmark list: every registered experiment
 // (so a newly registered figure is covered automatically) followed by the
 // primitive micro-benchmarks.
-func benches() []bench {
+func benches(faultSpec string) []bench {
 	var out []bench
 	for _, e := range experiment.All() {
 		e := e
@@ -339,6 +346,7 @@ func benches() []bench {
 		trialsBench("query-2tbins", obsBare),
 		trialsBench("query-2tbins-traced", obsTraced),
 		trialsBench("query-2tbins-audited", obsAudited),
+		faultedTrialsBench(faultSpec),
 		algBench("query-2tbins-2plus", core.TwoTBins{}, 128, 16, 16, fastsim.TwoPlusConfig()),
 		algBench("query-expincrease", core.ExpIncrease{}, 128, 16, 16, fastsim.DefaultConfig()),
 		algBench("query-probabns", core.ProbABNS{}, 128, 16, 16, fastsim.DefaultConfig()),
@@ -443,6 +451,66 @@ func trialsBench(name string, layer obsLayer) bench {
 			ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
 			tb := trace.NewBuilder()
 			sq := trace.NewSpanQuerier(ch, tb)
+			sq.StartSession("2tBins")
+			if _, err := (core.TwoTBins{}).Run(sq, n, t, r.Split(2)); err != nil {
+				return 0, 0, err
+			}
+			sq.EndSession()
+			a := trace.Analyze(tb.Trace())
+			return int64(a.Polls), a.Slots, nil
+		},
+	}
+}
+
+// faultedTrialsBench is trialsBench's faulted sibling: the same parallel
+// 2tBins trial pool with the fault injector and retry middleware stacked
+// above the channel, exactly as `-faults`/`-retries` stack them in
+// tcastsim. The delta against query-2tbins is the injection + retry
+// overhead per trial. Decisions are not checked — under injected faults
+// some are wrong by design; the trial only has to complete.
+func faultedTrialsBench(spec string) bench {
+	const n, t, x, batch = 128, 16, 16, 1000
+	cfg := fastsim.DefaultConfig()
+	fcfg, err := faults.ParseSpec(spec)
+	if err != nil {
+		fatal(fmt.Errorf("-faults: %w", err))
+	}
+	retry := query.RetryPolicy{MaxRetries: 2, Backoff: 1}
+	trial := func(i int, r *rng.Source) (float64, error) {
+		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		q := query.WithRetry(faults.New(ch, fcfg, n, r.Split(9)), retry)
+		res, err := (core.TwoTBins{}).Run(q, n, t, r.Split(2))
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Queries), nil
+	}
+	return bench{
+		name:     "query-2tbins-faulted",
+		short:    true,
+		perTrial: true,
+		fn: func(b *testing.B) {
+			workers := runtime.GOMAXPROCS(0)
+			b.ReportAllocs()
+			for done, seed := 0, uint64(1); done < b.N; seed++ {
+				m := b.N - done
+				if m > batch {
+					m = batch
+				}
+				if _, err := experiment.RunTrials(m, workers, rng.New(seed), trial); err != nil {
+					b.Fatal(err)
+				}
+				done += m
+			}
+		},
+		traced: func() (int64, int64, error) {
+			// One faulted traced session; the span recorder discovers the
+			// retry middleware's slot meter, so backoff slots are priced in.
+			r := rng.New(1).Split(0)
+			ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+			tb := trace.NewBuilder()
+			q := query.WithRetry(faults.New(ch, fcfg, n, r.Split(9)), retry)
+			sq := trace.NewSpanQuerier(q, tb)
 			sq.StartSession("2tBins")
 			if _, err := (core.TwoTBins{}).Run(sq, n, t, r.Split(2)); err != nil {
 				return 0, 0, err

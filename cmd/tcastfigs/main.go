@@ -29,7 +29,9 @@ import (
 
 	"tcast/internal/audit"
 	"tcast/internal/experiment"
+	"tcast/internal/faults"
 	"tcast/internal/metrics"
+	"tcast/internal/query"
 	"tcast/internal/trace"
 )
 
@@ -47,6 +49,9 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 
 		doAudit     = flag.Bool("audit", false, "grade every session against ground truth and print the audit summary")
+		faultsSpec  = flag.String("faults", "", "fault-injection spec stacked above every trial's substrate, e.g. burst=8,frac=0.2,churn=0.01 (figures tolerate the resulting wrong decisions)")
+		retries     = flag.Int("retries", 0, "initiator retry budget per silent poll")
+		backoff     = flag.Int("backoff", 0, "idle slots before each retry")
 		traceOut    = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the run to this file")
 		metricsOut  = flag.String("metrics", "", "dump run metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
 		metricsAddr = flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address during the run")
@@ -109,7 +114,18 @@ func main() {
 		col = &audit.Collector{}
 	}
 
-	opts := experiment.Options{Runs: *runs, Seed: *seed, Workers: *workers, Metrics: reg, Trace: builder, Audit: col}
+	opts := experiment.Options{
+		Runs: *runs, Seed: *seed, Workers: *workers,
+		Metrics: reg, Trace: builder, Audit: col,
+		Retry: query.RetryPolicy{MaxRetries: *retries, Backoff: *backoff},
+	}
+	if *faultsSpec != "" {
+		fcfg, err := faults.ParseSpec(*faultsSpec)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Faults = &fcfg
+	}
 	for _, e := range exps {
 		start := time.Now()
 		if builder != nil {

@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"tcast/internal/audit"
+	"tcast/internal/faults"
 	"tcast/internal/metrics"
 	"tcast/internal/mote"
 	"tcast/internal/radio"
@@ -39,6 +41,8 @@ func main() {
 		x            = flag.Int("x", 6, "positives to configure; serve mode honors them via -autoconfig")
 		runs         = flag.Int("runs", 20, "queries to run (controller mode)")
 		seed         = flag.Uint64("seed", 2011, "random seed")
+		timeout      = flag.Duration("timeout", 10*time.Second, "controller mode: per-command reply deadline; 0 waits forever")
+		faultsSpec   = flag.String("faults", "", "serve mode: fault-injection spec for the emulated radio, e.g. burst=8,frac=0.2,churn=0.01")
 
 		doAudit    = flag.Bool("audit", false, "controller mode: grade each decision against the configured -x truth (the wire protocol carries no polls, so wrong decisions stay unattributed)")
 		traceOut   = flag.String("trace", "", "controller mode: write a structured span trace (JSONL, virtual time) of the runs to this file")
@@ -61,7 +65,11 @@ func main() {
 
 	switch {
 	case *serve != "" && *connect == "":
-		if err := runServer(*serve, *participants, *miss, *x, *seed); err != nil {
+		fcfg, err := faults.ParseSpec(*faultsSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runServer(*serve, *participants, *miss, *x, *seed, fcfg); err != nil {
 			fatal(err)
 		}
 	case *connect != "" && *serve == "":
@@ -70,7 +78,7 @@ func main() {
 			v := *x >= *threshold
 			truth = &v
 		}
-		if err := runController(*connect, *threshold, *runs, *metricsOut, *traceOut, truth); err != nil {
+		if err := runController(*connect, *threshold, *runs, *timeout, *metricsOut, *traceOut, truth); err != nil {
 			fatal(err)
 		}
 	default:
@@ -80,13 +88,19 @@ func main() {
 
 // runServer boots the emulated testbed, configures x random positives
 // locally (the remote protocol only reaches the initiator here), and
-// serves its serial interface to one controller at a time.
-func runServer(addr string, participants int, miss float64, x int, seed uint64) error {
+// serves its serial interface to one controller at a time. A non-empty
+// fault config interposes the packet-level fault layer between the motes
+// and the medium, so the served testbed exhibits bursty loss, churn and
+// skew on top of the i.i.d. -miss model.
+func runServer(addr string, participants int, miss float64, x int, seed uint64, fcfg faults.Config) error {
 	if x < 0 || x > participants {
 		return fmt.Errorf("x=%d outside [0,%d]", x, participants)
 	}
 	root := rng.New(seed)
-	med := radio.NewMedium(radio.Config{MissProb: miss}, root.Split(1))
+	var med radio.Channel = radio.NewMedium(radio.Config{MissProb: miss}, root.Split(1))
+	if fcfg.Active() {
+		med = faults.NewMedium(med, fcfg, participants, root.Split(9))
+	}
 	parts := make([]*mote.Participant, participants)
 	for i := range parts {
 		parts[i] = mote.NewParticipant(i)
@@ -131,13 +145,17 @@ func runServer(addr string, participants int, miss float64, x int, seed uint64) 
 // run as a session span at backcast cost (3 RCD slots per group query).
 // With truth non-nil it grades every decision against that expected
 // answer; lacking polls, wrong decisions are counted but unattributed.
-func runController(addr string, threshold, runs int, metricsOut, traceOut string, truth *bool) error {
+// A positive timeout bounds every wire round trip: a mote that stops
+// replying fails the run (voided in the audit accounting) instead of
+// hanging the controller forever.
+func runController(addr string, threshold, runs int, timeout time.Duration, metricsOut, traceOut string, truth *bool) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	c := serial.NewClient(conn)
+	c.Timeout = timeout
 
 	var reg *metrics.Registry
 	if metricsOut != "" {
@@ -164,7 +182,14 @@ func runController(addr string, threshold, runs int, metricsOut, traceOut string
 	for i := 0; i < runs; i++ {
 		decision, queries, rounds, err := c.Query()
 		if err != nil {
-			return err
+			if col != nil {
+				// The session died mid-run: void it so the audit
+				// accounting distinguishes "never decided" from wrong,
+				// and still print the grades of the runs that finished.
+				col.Void(fmt.Sprintf("run=%d", i+1))
+				fmt.Print(col.Summary())
+			}
+			return fmt.Errorf("run %d: %w", i+1, err)
 		}
 		totalQueries += queries
 		if decision {

@@ -23,7 +23,9 @@ import (
 	"tcast/internal/core"
 	"tcast/internal/experiment"
 	"tcast/internal/fastsim"
+	"tcast/internal/faults"
 	"tcast/internal/metrics"
+	"tcast/internal/query"
 	"tcast/internal/rng"
 	"tcast/internal/stats"
 	"tcast/internal/trace"
@@ -42,6 +44,10 @@ func main() {
 		miss    = flag.Float64("miss", 0, "per-reply miss probability (radio irregularity)")
 		dump    = flag.Bool("dump", false, "print a poll-by-poll trace of one session before the sweep")
 		doAudit = flag.Bool("audit", false, "grade every session against ground truth and print the audit summary (tcast algorithms only)")
+
+		faultsSpec = flag.String("faults", "", "fault-injection spec, e.g. burst=8,frac=0.2,churn=0.01,skew=0.01 (csma honors the burst process via its drop hook)")
+		retries    = flag.Int("retries", 0, "initiator retry budget per silent poll (tcast algorithms)")
+		backoff    = flag.Int("backoff", 0, "idle slots before each retry")
 
 		traceOut   = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the whole sweep to this file")
 		metricsOut = flag.String("metrics", "", "dump per-poll metrics to this file after the sweep ('-' = stdout, .prom = Prometheus format)")
@@ -93,7 +99,12 @@ func main() {
 	if *doAudit {
 		col = &audit.Collector{}
 	}
-	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, reg, builder, col)
+	fcfg, err := faults.ParseSpec(*faultsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	retry := query.RetryPolicy{MaxRetries: *retries, Backoff: *backoff}
+	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, fcfg, retry, reg, builder, col)
 	if err != nil {
 		fatal(err)
 	}
@@ -134,8 +145,8 @@ func main() {
 	fmt.Printf("ground truth: x >= t is %v\n", *x >= *t)
 	fmt.Printf("mean cost: %.2f queries/slots (95%% CI ±%.2f, min %.0f, max %.0f)\n",
 		acc.Mean(), acc.CI95(), acc.Min(), acc.Max())
-	fmt.Printf("quantiles: p50=%.0f p90=%.0f p99=%.0f\n",
-		stats.Quantile(values, 0.5), stats.Quantile(values, 0.9), stats.Quantile(values, 0.99))
+	qs := stats.Quantiles(values, 0.5, 0.9, 0.99)
+	fmt.Printf("quantiles: p50=%.0f p90=%.0f p99=%.0f\n", qs[0], qs[1], qs[2])
 	if col != nil {
 		fmt.Print(col.Summary())
 	}
@@ -153,8 +164,11 @@ func main() {
 // records into its own fork keyed by trial index, so trials may run on
 // every core and the caller grafts the fragments back in order. A
 // non-nil collector grades every tcast session against the channel's
-// ground truth, likewise keyed by trial index.
-func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Registry, b *trace.Builder, col *audit.Collector) (func(i int, r *rng.Source) (float64, error), string, error) {
+// ground truth, likewise keyed by trial index. An active fault config
+// stacks the injector above the channel (CSMA honors the burst process
+// through its drop hook; sequential polling has no contention to fault);
+// an active retry policy re-polls silent bins within the priced budget.
+func buildTrial(alg string, n, t, x int, cfg fastsim.Config, fcfg faults.Config, retry query.RetryPolicy, reg *metrics.Registry, b *trace.Builder, col *audit.Collector) (func(i int, r *rng.Source) (float64, error), string, error) {
 	baselineTrial := func(scheme string, run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(i int, r *rng.Source) (float64, error) {
 		return func(trialN int, r *rng.Source) (float64, error) {
 			pos := bitset.New(n)
@@ -199,7 +213,12 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 			return nil, "", fmt.Errorf("-audit grades group-poll sessions; csma has none")
 		}
 		return baselineTrial("csma", func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result {
-			return baseline.CSMA{}.Run(n, t, pos, r)
+			c := baseline.CSMA{}
+			if fcfg.Burst.Active() {
+				link := faults.NewLink(fcfg.Burst, r.Split(9))
+				c.Drop = func(int) bool { return link.Lost() }
+			}
+			return c.Run(n, t, pos, r)
 		}), "CSMA", nil
 	case "seq":
 		if col != nil {
@@ -214,7 +233,12 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, reg *metrics.Regist
 	return func(trialN int, r *rng.Source) (float64, error) {
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
 		a := fac(ch)
-		q := metrics.Wrap(ch, reg)
+		var sub query.Querier = ch
+		if fcfg.Active() {
+			sub = faults.New(sub, fcfg, n, r.Split(9))
+		}
+		sub = query.WithRetry(sub, retry)
+		q := metrics.Wrap(sub, reg)
 		var aud *audit.Auditor
 		if col != nil {
 			var err error

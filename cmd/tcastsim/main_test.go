@@ -5,7 +5,9 @@ import (
 
 	"tcast/internal/audit"
 	"tcast/internal/fastsim"
+	"tcast/internal/faults"
 	"tcast/internal/metrics"
+	"tcast/internal/query"
 	"tcast/internal/rng"
 )
 
@@ -21,7 +23,7 @@ func TestBuildTrialAllAlgorithms(t *testing.T) {
 		"csma":     "CSMA",
 		"seq":      "Sequential",
 	} {
-		trial, name, err := buildTrial(alg, 32, 8, 10, cfg, metrics.New(), nil, nil)
+		trial, name, err := buildTrial(alg, 32, 8, 10, cfg, faults.Config{}, query.RetryPolicy{}, metrics.New(), nil, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -39,14 +41,14 @@ func TestBuildTrialAllAlgorithms(t *testing.T) {
 }
 
 func TestBuildTrialUnknownAlgorithm(t *testing.T) {
-	if _, _, err := buildTrial("nope", 32, 8, 10, fastsim.DefaultConfig(), nil, nil, nil); err == nil {
+	if _, _, err := buildTrial("nope", 32, 8, 10, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, nil); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestBuildTrialAudited(t *testing.T) {
 	col := &audit.Collector{}
-	trial, _, err := buildTrial("2tbins", 32, 8, 10, fastsim.DefaultConfig(), nil, nil, col)
+	trial, _, err := buildTrial("2tbins", 32, 8, 10, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,14 +71,14 @@ func TestBuildTrialAudited(t *testing.T) {
 func TestBuildTrialAuditRejectsBaselines(t *testing.T) {
 	col := &audit.Collector{}
 	for _, alg := range []string{"csma", "seq"} {
-		if _, _, err := buildTrial(alg, 32, 8, 10, fastsim.DefaultConfig(), nil, nil, col); err == nil {
+		if _, _, err := buildTrial(alg, 32, 8, 10, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, col); err == nil {
 			t.Fatalf("%s accepted -audit", alg)
 		}
 	}
 }
 
 func TestBuildTrialDeterministic(t *testing.T) {
-	trial, _, err := buildTrial("2tbins", 64, 8, 12, fastsim.DefaultConfig(), nil, nil, nil)
+	trial, _, err := buildTrial("2tbins", 64, 8, 12, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,5 +98,24 @@ func TestPrintTraceRejectsBaselines(t *testing.T) {
 func TestPrintTraceRuns(t *testing.T) {
 	if err := printTrace("probabns", 16, 4, 4, fastsim.DefaultConfig(), 1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBuildTrialFaultedAndRetried(t *testing.T) {
+	fcfg, err := faults.ParseSpec("burst=4,frac=0.3,churn=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry := query.RetryPolicy{MaxRetries: 2, Backoff: 1}
+	trial, _, err := buildTrial("2tbins", 32, 8, 10, fastsim.DefaultConfig(), fcfg, retry, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if cost, err := trial(i, rng.New(uint64(i))); err != nil {
+			t.Fatal(err)
+		} else if cost < 0 {
+			t.Fatalf("trial %d: negative cost %v", i, cost)
+		}
 	}
 }

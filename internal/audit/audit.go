@@ -323,8 +323,24 @@ func New(q query.Querier, cfg Config) (*Auditor, error) {
 	lossless := false
 	if cfg.Lossless != nil {
 		lossless = *cfg.Lossless
-	} else if ll, ok := root.(interface{ Lossless() bool }); ok {
-		lossless = ll.Lossless()
+	} else if _, ok := root.(interface{ Lossless() bool }); ok {
+		// The bound invariants need every layer sound, not just the
+		// substrate: a middleware that injects loss of its own (the
+		// faults injector) sits above a lossless medium, and grading
+		// LB <= x <= UB there would report spurious violations. Walk the
+		// whole chain and let any layer that reports losslessness veto.
+		lossless = true
+		for walk := q; walk != nil; {
+			if ll, ok := walk.(interface{ Lossless() bool }); ok && !ll.Lossless() {
+				lossless = false
+				break
+			}
+			w, ok := walk.(query.Wrapper)
+			if !ok {
+				break
+			}
+			walk = w.Unwrap()
+		}
 	}
 	a := &Auditor{
 		q:        q,

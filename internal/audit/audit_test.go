@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"tcast/internal/energy"
+	"tcast/internal/faults"
 	"tcast/internal/metrics"
 	"tcast/internal/query"
+	"tcast/internal/rng"
 )
 
 // scripted is a querier that replays a fixed response sequence and carries
@@ -263,5 +265,50 @@ func TestNewDiscoversNothing(t *testing.T) {
 	type bare struct{ query.Querier }
 	if _, err := New(bare{&query.Counting{}}, Config{N: 2, T: 1}); err == nil {
 		t.Fatal("expected error for a substrate without ground truth")
+	}
+}
+
+// losslessScripted is a scripted substrate that reports itself lossless,
+// standing in for the packet-level medium with MissProb=0.
+type losslessScripted struct{ scripted }
+
+func (s *losslessScripted) Lossless() bool { return true }
+
+func TestNewLosslessWalksWholeChain(t *testing.T) {
+	mk := func() *losslessScripted {
+		return &losslessScripted{scripted{
+			truth: map[int]bool{0: true},
+			resps: []query.Response{{Kind: query.Empty}},
+		}}
+	}
+
+	// Bare lossless substrate: bound invariants on.
+	a, err := New(mk(), Config{N: 2, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Lossless() {
+		t.Fatal("lossless substrate must enable the bound invariants")
+	}
+
+	// An active fault injector above the same substrate can drop replies;
+	// its Lossless()=false must veto even though the root is lossless.
+	inj := faults.New(mk(), faults.Config{SkewProb: 0.5}, 2, rng.New(1))
+	a, err = New(inj, Config{N: 2, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lossless() {
+		t.Fatal("active injector above a lossless substrate must stand the bound invariants down")
+	}
+
+	// A zero-config injector is transparent: losslessness survives.
+	inj = faults.New(mk(), faults.Config{}, 2, rng.New(1))
+	a, err = New(inj, Config{N: 2, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Lossless() {
+		t.Fatal("inactive injector must preserve the substrate's losslessness")
 	}
 }

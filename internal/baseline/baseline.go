@@ -26,6 +26,10 @@ type Result struct {
 	Delivered int
 	// Collisions counts slots wasted on colliding transmissions.
 	Collisions int
+	// Dropped counts collision-free replies the channel lost on the way
+	// to the initiator (CSMA's Drop hook); the transmitting station
+	// still believes it delivered.
+	Dropped int
 	// Order is the reply schedule used by Sequential (nil for CSMA);
 	// energy accounting needs to know who was scheduled before the
 	// early-termination point.
@@ -47,6 +51,15 @@ type CSMA struct {
 	// "threshold unreachable" after that many consecutive idle slots,
 	// which can be wrong if a node is still backed off.
 	GuardSlots int
+	// Drop, when non-nil, is consulted once per successful (collision-
+	// free) reply slot: true means the reply frame was lost on the way to
+	// the initiator — the station sensed no collision, believes it
+	// delivered, and leaves the backlog, but the initiator heard nothing.
+	// The faults layer supplies this hook (faults.Link) to subject CSMA
+	// to the same bursty-channel process as the RCD substrates; pair it
+	// with a positive GuardSlots so lost replies cannot stall idealized
+	// termination.
+	Drop func(slot int) bool
 }
 
 func (c CSMA) bounds() (cwMin, cwMax int) {
@@ -94,8 +107,13 @@ func (c CSMA) Run(n, t int, positives *bitset.Set, r *rng.Source) Result {
 			return res
 		}
 		if c.GuardSlots == 0 {
-			// Idealized termination: all replies in, threshold not met.
-			if res.Delivered == x {
+			// Idealized termination: every station has delivered (or,
+			// under Drop, believes it has), threshold not met. The
+			// backlog empties exactly when Delivered reaches x on a
+			// loss-free channel, so this is the same rule — but it also
+			// terminates when dropped replies make Delivered fall short
+			// of x forever.
+			if len(backlog) == 0 {
 				res.Decision = false
 				return res
 			}
@@ -122,8 +140,14 @@ func (c CSMA) Run(n, t int, positives *bitset.Set, r *rng.Source) Result {
 			}
 		case 1:
 			idleRun = 0
-			res.Delivered++
-			// Remove the successful station from the backlog.
+			if c.Drop == nil || !c.Drop(res.Slots) {
+				res.Delivered++
+			} else {
+				res.Dropped++
+			}
+			// Remove the successful station from the backlog: with no
+			// collision sensed it believes it delivered, even when Drop
+			// lost the frame.
 			kept := backlog[:0]
 			for _, s := range backlog {
 				if s != transmit[0] {

@@ -17,11 +17,19 @@ import (
 	"tcast/internal/audit"
 	"tcast/internal/core"
 	"tcast/internal/fastsim"
+	"tcast/internal/faults"
 	"tcast/internal/metrics"
+	"tcast/internal/query"
 	"tcast/internal/rng"
 	"tcast/internal/stats"
 	"tcast/internal/trace"
 )
+
+// faultStream is the Split label reserved for a trial's fault-injection
+// stream; trial cost functions use labels 1..3 for their own draws, and
+// Split never advances the parent, so reserving the label costs bare runs
+// nothing.
+const faultStream = 9
 
 // Options tunes an experiment run.
 type Options struct {
@@ -61,6 +69,35 @@ type Options struct {
 	// count. Like the other two layers it consumes no randomness, so the
 	// computed tables are bit-identical with and without it.
 	Audit *audit.Collector
+	// Faults, when non-nil, stacks the deterministic fault injector
+	// (internal/faults) directly above every trial's querier substrate,
+	// drawing from a dedicated per-trial stream. A non-nil config with
+	// all rates zero still interposes the injector; such runs are
+	// byte-identical to bare ones (the CI property test pins this).
+	// With faults active the figure experiments tolerate wrong decisions
+	// instead of failing the trial — degradation is the point — and the
+	// abstract CSMA/Sequential baselines, which have no querier to wrap,
+	// run bare. The audit layer keeps working: the injector reports
+	// itself lossy, so the bound invariants stand down.
+	Faults *faults.Config
+	// Retry stacks the initiator retry policy (query.WithRetry) above
+	// the substrate and injector in every trial; the zero policy adds no
+	// wrapper. Retries and backoff waits are priced in virtual slots.
+	Retry query.RetryPolicy
+}
+
+// faulted reports whether fault injection is configured AND can fire.
+func (o Options) faulted() bool { return o.Faults != nil && o.Faults.Active() }
+
+// wrapFaults stacks the injector (when configured) and the retry policy
+// above a trial's substrate, returning the querier the observability
+// layers should wrap. r must be the trial's root stream: the injector
+// draws from its reserved split, never from the substrate's.
+func (o Options) wrapFaults(q query.Querier, n int, r *rng.Source) query.Querier {
+	if o.Faults != nil {
+		q = faults.New(q, *o.Faults, n, r.Split(faultStream))
+	}
+	return query.WithRetry(q, o.Retry)
 }
 
 func (o Options) runs(def int) int {
@@ -237,7 +274,7 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 	return func(trial int, r *rng.Source) (float64, error) {
 		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
 		alg := fac(ch)
-		q := metrics.Wrap(ch, o.Metrics)
+		q := metrics.Wrap(o.wrapFaults(ch, n, r), o.Metrics)
 		var aud *audit.Auditor
 		var label string
 		if o.Audit != nil {
@@ -289,7 +326,10 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 			return 0, err
 		}
 		metrics.FinishSession(q)
-		if res.Decision != (x >= t) {
+		if res.Decision != (x >= t) && !o.faulted() {
+			// A wrong decision on a well-behaved substrate is a harness
+			// bug; under active fault injection it is the expected
+			// degradation the audit layer attributes.
 			return 0, fmt.Errorf("wrong decision for n=%d t=%d x=%d", n, t, x)
 		}
 		return float64(res.Queries), nil

@@ -1,0 +1,231 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tcast/internal/audit"
+	"tcast/internal/baseline"
+	"tcast/internal/bitset"
+	"tcast/internal/core"
+	"tcast/internal/faults"
+	"tcast/internal/metrics"
+	"tcast/internal/pollcast"
+	"tcast/internal/query"
+	"tcast/internal/radio"
+	"tcast/internal/rng"
+	"tcast/internal/stats"
+)
+
+// ext-faults is the robustness campaign the testbed section motivates:
+// 2tBins over a *lossless* packet-level backcast medium degraded only by
+// the injected fault processes, swept over burst length with and without
+// churn and with the initiator retry policy, against CSMA under the same
+// bursty channel. Because the medium itself is perfect, every reply loss
+// is an injected fault — so every wrong decision's causal poll (found by
+// the auditor) joins an entry in the injector's fault-event log, and the
+// audit dump names the fault that caused each error.
+const (
+	extN     = 24 // participants
+	extT     = 6  // threshold
+	extX     = 8  // true positives: x > t, so fault-induced errors decide "no"
+	extGuard = 48 // CSMA guard slots (realistic termination; Drop needs it)
+)
+
+// extBurstLens sweeps the mean bad-state dwell in polls (0 = no bursts);
+// extBadFrac holds the stationary bad fraction constant, so longer bursts
+// at equal average loss isolate the effect of loss clustering.
+var extBurstLens = []int{0, 2, 4, 8, 16, 32}
+
+const extBadFrac = 0.2
+
+// extBurst builds the Gilbert–Elliott config for one swept burst length.
+func extBurst(burstLen int) faults.BurstConfig {
+	if burstLen <= 0 {
+		return faults.BurstConfig{}
+	}
+	pbg := 1 / float64(burstLen)
+	return faults.BurstConfig{
+		PGoodBad: extBadFrac / (1 - extBadFrac) * pbg,
+		PBadGood: pbg,
+		MissBad:  1,
+	}
+}
+
+// extChurn is the churn process of the churn series: 1% crash per poll,
+// 10% recovery.
+var extChurn = faults.ChurnConfig{CrashProb: 0.01, RecoverProb: 0.1}
+
+// extRetry is the initiator policy of the retry series.
+var extRetry = query.RetryPolicy{MaxRetries: 2, Backoff: 1}
+
+// faultedPoint runs one audited backcast variant at one sweep point and
+// returns the per-trial correctness values plus how many of the point's
+// wrong decisions were attributed to a concrete injected fault event
+// (their collector labels name it). Verdicts fold into col and, when set,
+// o.Audit — both keyed by trial index, so dumps stay order-deterministic
+// at full parallelism.
+func faultedPoint(prefix string, cfg faults.Config, retry query.RetryPolicy, col *audit.Collector, o Options, root *rng.Source) ([]float64, int, error) {
+	runs := o.runs(200)
+	attributed := make([]bool, runs)
+	values, err := RunTrials(runs, o.workers(), root, func(trial int, r *rng.Source) (float64, error) {
+		med := radio.NewMedium(radio.Config{}, r.Split(1))
+		parts := make([]*pollcast.Participant, extN)
+		positive := make(map[int]bool, extX)
+		for _, id := range r.Split(2).Sample(extN, extX) {
+			positive[id] = true
+		}
+		for i := range parts {
+			parts[i] = &pollcast.Participant{ID: i, Positive: positive[i]}
+		}
+		sess, err := pollcast.NewSession(med, extN, parts, pollcast.Backcast, query.OnePlus)
+		if err != nil {
+			return 0, err
+		}
+		inj := faults.New(sess, cfg, extN, r.Split(faultStream))
+		wrapped := query.WithRetry(inj, retry)
+		rq, _ := wrapped.(*query.Retry)
+		var q query.Querier = metrics.Wrap(wrapped, o.Metrics)
+		aud, err := audit.New(q, audit.Config{N: extN, T: extT, Metrics: o.Metrics})
+		if err != nil {
+			return 0, err
+		}
+		q = aud
+		label := fmt.Sprintf("%s/trial=%d", prefix, trial)
+		res, err := (core.TwoTBins{}).Run(q, extN, extT, r.Split(3))
+		if err != nil {
+			col.Void(label)
+			if o.Audit != nil {
+				o.Audit.Void(label)
+			}
+			return 0, err
+		}
+		metrics.FinishSession(q)
+		v := aud.Finish(res.Decision)
+		if !v.Correct() {
+			// Join the causal poll to the injector's event log. The
+			// retry layer renumbers polls (one audited poll spans
+			// several attempts), so map to the final attempt first.
+			causal := v.CausalPoll
+			if rq != nil {
+				causal = rq.DownstreamPoll(causal)
+			}
+			if cause := inj.Describe(causal); causal >= 0 && cause != "no injected fault" {
+				label += " [" + cause + "]"
+				attributed[trial] = true
+			}
+		}
+		col.AddAt(trial, label, v)
+		if o.Audit != nil {
+			o.Audit.AddAt(trial, label, v)
+		}
+		if v.Correct() {
+			return 1, nil
+		}
+		return 0, nil
+	})
+	if err != nil {
+		col.Discard()
+		if o.Audit != nil {
+			o.Audit.Discard()
+		}
+		return nil, 0, err
+	}
+	col.Flush()
+	if o.Audit != nil {
+		o.Audit.Flush()
+	}
+	n := 0
+	for _, a := range attributed {
+		if a {
+			n++
+		}
+	}
+	return values, n, nil
+}
+
+// csmaFaultedPoint runs the CSMA comparison under the same bursty channel
+// via the baseline's Drop hook (one Gilbert–Elliott link clocked per
+// reply slot, the same clock the injector steps per poll).
+func csmaFaultedPoint(burst faults.BurstConfig, o Options, root *rng.Source) ([]float64, error) {
+	return RunTrials(o.runs(200), o.workers(), root, func(trial int, r *rng.Source) (float64, error) {
+		pos := bitset.New(extN)
+		for _, id := range r.Split(1).Sample(extN, extX) {
+			pos.Add(id)
+		}
+		link := faults.NewLink(burst, r.Split(3))
+		c := baseline.CSMA{GuardSlots: extGuard}
+		if burst.Active() {
+			c.Drop = func(int) bool { return link.Lost() }
+		}
+		res := c.Run(extN, extT, pos, r.Split(2))
+		if res.Decision == (extX >= extT) {
+			return 1, nil
+		}
+		return 0, nil
+	})
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-faults",
+		Title: "Fault injection: 2tBins/backcast vs CSMA under bursty loss, churn and retries, errors fault-attributed",
+		Run: func(o Options) (*stats.Table, error) {
+			root := rng.New(o.Seed)
+			tab := &stats.Table{
+				Title: fmt.Sprintf("faulted backcast campaign: N=%d, t=%d, x=%d (truth: yes), bad fraction %.0f%%",
+					extN, extT, extX, 100*extBadFrac),
+				XLabel: "mean burst length (polls)", YLabel: "rate / count",
+			}
+			plain := &stats.Series{Name: "backcast accuracy"}
+			churned := &stats.Series{Name: fmt.Sprintf("backcast accuracy (churn %g)", extChurn.CrashProb)}
+			retried := &stats.Series{Name: fmt.Sprintf("backcast accuracy (retry x%d)", extRetry.MaxRetries)}
+			csma := &stats.Series{Name: fmt.Sprintf("CSMA accuracy (guard %d)", extGuard)}
+			attr := &stats.Series{Name: "wrong decisions attributed to faults"}
+			for _, burstLen := range extBurstLens {
+				ptRoot := root.Split(uint64(burstLen))
+				burst := extBurst(burstLen)
+				x := float64(burstLen)
+				attributed := 0
+				for vi, variant := range []struct {
+					s     *stats.Series
+					cfg   faults.Config
+					retry query.RetryPolicy
+					tag   string
+				}{
+					{plain, faults.Config{Burst: burst}, query.RetryPolicy{}, "plain"},
+					{churned, faults.Config{Burst: burst, Churn: extChurn}, query.RetryPolicy{}, "churn"},
+					{retried, faults.Config{Burst: burst}, extRetry, "retry"},
+				} {
+					col := &audit.Collector{}
+					prefix := fmt.Sprintf("2tBins/backcast/%s/burst=%d", variant.tag, burstLen)
+					values, n, err := faultedPoint(prefix, variant.cfg, variant.retry, col, o, ptRoot.Split(uint64(vi+1)))
+					if err != nil {
+						return nil, fmt.Errorf("experiment: ext-faults %s at burst=%d: %w", variant.tag, burstLen, err)
+					}
+					attributed += n
+					var acc stats.Running
+					for _, v := range values {
+						acc.Observe(v)
+					}
+					variant.s.Append(stats.Point{X: x, Y: acc.Mean(), Err: acc.CI95(), N: acc.N()})
+				}
+				values, err := csmaFaultedPoint(burst, o, ptRoot.Split(99))
+				if err != nil {
+					return nil, fmt.Errorf("experiment: ext-faults csma at burst=%d: %w", burstLen, err)
+				}
+				var acc stats.Running
+				for _, v := range values {
+					acc.Observe(v)
+				}
+				csma.Append(stats.Point{X: x, Y: acc.Mean(), Err: acc.CI95(), N: acc.N()})
+				attr.Append(stats.Point{X: x, Y: float64(attributed), N: 3 * o.runs(200)})
+			}
+			tab.Add(plain)
+			tab.Add(churned)
+			tab.Add(retried)
+			tab.Add(csma)
+			tab.Add(attr)
+			return tab, nil
+		},
+	})
+}

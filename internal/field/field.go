@@ -182,6 +182,11 @@ type Delivery struct {
 	Hops int
 	// Transmissions counts every frame sent, including retries.
 	Transmissions int
+	// Slots is the virtual-time cost of the delivery: one slot per
+	// transmission, the final failed attempt of an exhausted hop
+	// included exactly once — the same pricing the query-layer retry
+	// middleware uses, so convergecast and singlehop costs share an axis.
+	Slots int
 }
 
 // Deliver sends one report from node up the tree.
@@ -196,6 +201,7 @@ func (c Convergecast) Deliver(t *Tree, from int, r *rng.Source) Delivery {
 		sent := false
 		for attempt := 0; attempt <= retries; attempt++ {
 			del.Transmissions++
+			del.Slots++
 			if !r.Bernoulli(c.LossProb) {
 				sent = true
 				break

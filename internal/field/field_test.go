@@ -257,3 +257,33 @@ func TestQuickTreePaths(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDeliverSlotsMatchTransmissions(t *testing.T) {
+	// Virtual time prices one slot per transmission, so the two ledgers
+	// must agree on every path — delivered or not.
+	d := mustGrid(t, 6, 1, 10, 10)
+	tree, _ := d.BFSTree(0)
+	root := rng.New(4)
+	for i := 0; i < 200; i++ {
+		del := Convergecast{LossProb: 0.4, MaxRetries: 2}.Deliver(tree, 5, root.Split(uint64(i)))
+		if del.Slots != del.Transmissions {
+			t.Fatalf("trial %d: Slots = %d, Transmissions = %d", i, del.Slots, del.Transmissions)
+		}
+	}
+}
+
+func TestDeliverExhaustedRetriesCountedOnce(t *testing.T) {
+	// Regression: the final failed attempt of an exhausted hop must be
+	// priced exactly once. LossProb=1 with MaxRetries=1 means the first
+	// hop sends the initial attempt plus one retry and gives up:
+	// exactly 2 transmissions and 2 slots, zero hops beyond the first.
+	d := mustGrid(t, 3, 1, 10, 10)
+	tree, _ := d.BFSTree(0)
+	del := Convergecast{LossProb: 1, MaxRetries: 1}.Deliver(tree, 2, rng.New(5))
+	if del.Delivered {
+		t.Fatal("delivery over a fully lossy channel must fail")
+	}
+	if del.Hops != 1 || del.Transmissions != 2 || del.Slots != 2 {
+		t.Fatalf("exhausted-retries delivery = %+v, want Hops=1 Transmissions=2 Slots=2", del)
+	}
+}

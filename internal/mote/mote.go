@@ -164,13 +164,13 @@ type initResp struct {
 // NewInitiator boots the initiator mote with the default 2tBins firmware.
 // It owns med and r; participants are consulted over their radio-side
 // interface during queries.
-func NewInitiator(id int, med *radio.Medium, participants []*Participant, r *rng.Source) *Initiator {
+func NewInitiator(id int, med radio.Channel, participants []*Participant, r *rng.Source) *Initiator {
 	return NewInitiatorWithAlgorithm(id, core.TwoTBins{}, med, participants, r)
 }
 
 // NewInitiatorWithAlgorithm boots the initiator with alternative firmware
 // — any threshold algorithm runs over the same backcast radio path.
-func NewInitiatorWithAlgorithm(id int, alg core.Algorithm, med *radio.Medium, participants []*Participant, r *rng.Source) *Initiator {
+func NewInitiatorWithAlgorithm(id int, alg core.Algorithm, med radio.Channel, participants []*Participant, r *rng.Source) *Initiator {
 	ini := &Initiator{id: id, alg: alg, inbox: make(chan initReq), done: make(chan struct{})}
 	go ini.loop(med, participants, r)
 	return ini
@@ -179,7 +179,7 @@ func NewInitiatorWithAlgorithm(id int, alg core.Algorithm, med *radio.Medium, pa
 // opQuery is a distinct op for the initiator's serial interface.
 const opQuery opKind = 100
 
-func (ini *Initiator) loop(med *radio.Medium, participants []*Participant, r *rng.Source) {
+func (ini *Initiator) loop(med radio.Channel, participants []*Participant, r *rng.Source) {
 	defer close(ini.done)
 	threshold := -1
 	for req := range ini.inbox {
@@ -204,7 +204,7 @@ func (ini *Initiator) loop(med *radio.Medium, participants []*Participant, r *rn
 // backcastQuerier implements query.Querier over the medium with live
 // participant firmware, recording a trace of every group query.
 type backcastQuerier struct {
-	med          *radio.Medium
+	med          radio.Channel
 	initiatorID  int
 	participants map[int]*Participant
 	seq          uint8
@@ -257,7 +257,7 @@ func (b *backcastQuerier) Query(bin []int) query.Response {
 	return resp
 }
 
-func (ini *Initiator) runTCast(med *radio.Medium, participants []*Participant, threshold int, r *rng.Source) (QueryOutcome, error) {
+func (ini *Initiator) runTCast(med radio.Channel, participants []*Participant, threshold int, r *rng.Source) (QueryOutcome, error) {
 	parts := make(map[int]*Participant, len(participants))
 	for _, p := range participants {
 		parts[p.id] = p

@@ -60,7 +60,7 @@ type pollPayload struct {
 // Session is one threshold-query session by a fixed initiator over a fixed
 // participant set. It implements query.Querier.
 type Session struct {
-	med         *radio.Medium
+	med         radio.Channel
 	initiatorID int
 	parts       map[int]*Participant
 	prim        Primitive
@@ -70,9 +70,10 @@ type Session struct {
 	slots       int
 }
 
-// NewSession creates a session. Backcast only supports the 1+ model: HACKs
+// NewSession creates a session over any radio.Channel — the bare medium
+// or a fault-layer wrapper. Backcast only supports the 1+ model: HACKs
 // are identical by construction and carry no replier identity.
-func NewSession(med *radio.Medium, initiatorID int, participants []*Participant, prim Primitive, model query.CollisionModel) (*Session, error) {
+func NewSession(med radio.Channel, initiatorID int, participants []*Participant, prim Primitive, model query.CollisionModel) (*Session, error) {
 	if prim == Backcast && model == query.TwoPlus {
 		return nil, fmt.Errorf("pollcast: backcast HACKs are identical and cannot support the 2+ model")
 	}

@@ -84,12 +84,13 @@ func (f Frame) Airtime() time.Duration {
 	return timing.FrameAirtime(f.Bytes)
 }
 
-// lossy reports whether the per-copy reception loss applies to this frame
+// Lossy reports whether the per-copy reception loss applies to this frame
 // kind. Control traffic (polls, schedules, data) is modeled as reliable by
 // default — initiators transmit it at full power and the testbed reports
 // no errors on it — while simultaneous votes/HACKs ride on superposition
-// and suffer MissProb per copy.
-func (f Frame) lossy() bool { return f.Kind == FrameVote || f.Kind == FrameHACK }
+// and suffer MissProb per copy. Exported so medium middleware (the faults
+// layer) applies the same kind partition.
+func (f Frame) Lossy() bool { return f.Kind == FrameVote || f.Kind == FrameHACK }
 
 // Observation is what one receiver's radio reports for one slot.
 type Observation struct {
@@ -128,6 +129,23 @@ type Config struct {
 	// frame decoding in its slot (it always raises Energy). Backcast's
 	// false negatives in multihop settings come from jammed HACKs.
 	InterferenceJams bool
+}
+
+// Channel is the slot-synchronous medium interface the packet-level
+// substrates drive (pollcast sessions, mote firmware): BeginSlot /
+// Transmit / Observe / EndSlot cycles plus the slot, losslessness and
+// air-time probes the observability layers read. *Medium implements it;
+// middleware such as the faults layer's degraded medium wraps any
+// Channel, so a session runs unchanged over a faulted link.
+type Channel interface {
+	BeginSlot()
+	Transmit(f Frame)
+	Observe(receiver int) Observation
+	EndSlot()
+	Slot() int
+	Lossless() bool
+	Elapsed() time.Duration
+	TraceAttrs() []trace.Attr
 }
 
 // Medium is the shared slot-synchronous channel. Callers drive it in
@@ -237,7 +255,7 @@ func (m *Medium) Observe(receiver int) Observation {
 	var arrived []Frame
 	for _, f := range incoming {
 		loss := m.cfg.ControlMissProb
-		if f.lossy() {
+		if f.Lossy() {
 			loss = m.lossFor(f)
 		}
 		if !m.r.Bernoulli(loss) {

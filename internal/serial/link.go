@@ -3,6 +3,7 @@ package serial
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"tcast/internal/mote"
 )
@@ -94,6 +95,19 @@ func ServeParticipant(rw io.ReadWriter, p *mote.Participant) error {
 // Client is the controller-side stub for one serial link.
 type Client struct {
 	rw io.ReadWriter
+	// Timeout bounds how long a round trip waits for the mote's reply.
+	// Zero means wait forever — the historical behavior, under which a
+	// wedged mote hangs the whole controller run. A positive Timeout
+	// requires rw to support read deadlines (net.Conn does; a PTY file
+	// usually does via os.File): the deadline is armed per round trip and
+	// cleared afterwards, and an expired deadline surfaces as the stream's
+	// timeout error so the caller can fail the session instead of hanging.
+	Timeout time.Duration
+}
+
+// deadliner is the read-deadline capability Timeout needs from rw.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
 }
 
 // NewClient wraps a byte stream to a mote.
@@ -102,6 +116,18 @@ func NewClient(rw io.ReadWriter) *Client { return &Client{rw: rw} }
 func (c *Client) roundTrip(m Message) (Message, error) {
 	if err := Encode(c.rw, m); err != nil {
 		return Message{}, err
+	}
+	if c.Timeout > 0 {
+		d, ok := c.rw.(deadliner)
+		if !ok {
+			// Fail loudly rather than silently waiting forever on a
+			// stream that cannot honor the configured bound.
+			return Message{}, fmt.Errorf("serial: timeout configured but %T supports no read deadline", c.rw)
+		}
+		if err := d.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return Message{}, fmt.Errorf("serial: arming read deadline: %w", err)
+		}
+		defer func() { _ = d.SetReadDeadline(time.Time{}) }()
 	}
 	return Decode(c.rw)
 }

@@ -1,8 +1,12 @@
 package serial
 
 import (
+	"bytes"
+	"errors"
 	"net"
+	"strings"
 	"testing"
+	"time"
 
 	"tcast/internal/mote"
 	"tcast/internal/radio"
@@ -163,5 +167,66 @@ func TestServerRejectsWrongCommands(t *testing.T) {
 	}
 	if err := partClient.ConfigureInitiator(2); err == nil {
 		t.Fatal("participant accepted an initiator-only command")
+	}
+}
+
+func TestClientTimeoutOnSilentMote(t *testing.T) {
+	ctrl, moteSide := net.Pipe()
+	defer ctrl.Close()
+	// The "mote" drains commands but never replies — a wedged firmware.
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := moteSide.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewClient(ctrl)
+	c.Timeout = 20 * time.Millisecond
+	start := time.Now()
+	err := c.Reboot()
+	if err == nil {
+		t.Fatal("expected a timeout error from a silent mote")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a net timeout", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("round trip blocked %v despite 20ms timeout", waited)
+	}
+	moteSide.Close()
+}
+
+func TestClientTimeoutClearsDeadline(t *testing.T) {
+	ctrl, moteSide := net.Pipe()
+	defer ctrl.Close()
+	defer moteSide.Close()
+	go func() {
+		p := mote.NewParticipant(1)
+		_ = ServeParticipant(moteSide, p)
+	}()
+	c := NewClient(ctrl)
+	c.Timeout = time.Second
+	// Two sequential round trips: if the deadline from the first were
+	// left armed, a later slow reply would spuriously expire. Mostly this
+	// pins that a served round trip under Timeout works at all.
+	for i := 0; i < 2; i++ {
+		if err := c.Configure(true); err != nil {
+			t.Fatalf("round trip %d under timeout: %v", i, err)
+		}
+	}
+}
+
+func TestClientTimeoutRequiresDeadline(t *testing.T) {
+	// A plain buffer has no SetReadDeadline: configuring Timeout must
+	// fail loudly instead of silently waiting forever.
+	var buf bytes.Buffer
+	c := NewClient(&buf)
+	c.Timeout = time.Millisecond
+	err := c.Reboot()
+	if err == nil || !strings.Contains(err.Error(), "read deadline") {
+		t.Fatalf("err = %v, want a no-read-deadline error", err)
 	}
 }

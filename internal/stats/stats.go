@@ -130,14 +130,32 @@ func (r *Running) String() string {
 // sorted; a sorted copy is made. It panics on an empty sample or a q
 // outside [0, 1].
 func Quantile(sample []float64, q float64) float64 {
-	if len(sample) == 0 {
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Quantiles returns several quantiles of one sample, sorting a single
+// copy once — the input is never mutated, matching Quantile.
+func Quantiles(sample []float64, qs ...float64) []float64 {
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// quantileSorted reads the q-th linearly interpolated quantile from an
+// already-sorted sample.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
 		panic("stats: quantile of empty sample")
 	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
 	}
-	sorted := append([]float64(nil), sample...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

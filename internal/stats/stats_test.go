@@ -282,3 +282,39 @@ func TestCI95MonotonicAcrossTableBoundary(t *testing.T) {
 		prev = cur
 	}
 }
+
+func TestQuantilesMatchQuantile(t *testing.T) {
+	sample := []float64{9, 1, 4, 7, 2, 8, 3, 6, 5}
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	got := Quantiles(sample, qs...)
+	for i, q := range qs {
+		if want := Quantile(sample, q); got[i] != want {
+			t.Errorf("Quantiles[%v] = %v, want %v", q, got[i], want)
+		}
+	}
+}
+
+func TestQuantilesDoNotMutateInput(t *testing.T) {
+	sample := []float64{5, 3, 1, 4, 2}
+	orig := append([]float64(nil), sample...)
+	Quantiles(sample, 0.5, 0.9)
+	Quantile(sample, 0.5)
+	for i := range sample {
+		if sample[i] != orig[i] {
+			t.Fatalf("input mutated: %v, want %v", sample, orig)
+		}
+	}
+}
+
+func TestQuantilesPanicOnBadInput(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("empty sample", func() { Quantiles(nil, 0.5) })
+	assertPanics("q out of range", func() { Quantiles([]float64{1}, 1.5) })
+}
