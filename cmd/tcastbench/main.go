@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"tcast/internal/audit"
@@ -102,16 +103,18 @@ type bench struct {
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH.json", "write results to this file ('-' = stdout)")
-		short     = flag.Bool("short", false, "run only the smoke subset (micro-benchmarks + analytic figures)")
-		run       = flag.String("run", "", "run only benchmarks whose name contains this substring")
-		baseFile  = flag.String("baseline", "", "compare against this BENCH.json; exit 1 on regression")
-		threshold = flag.Float64("threshold", 1.10, "ns/op ratio above which a benchmark counts as regressed")
-		input     = flag.String("input", "", "compare this BENCH.json against -baseline instead of running")
-		list      = flag.Bool("list", false, "list benchmark names and exit")
-		diffMode  = flag.Bool("diff", false, "diff two span-trace JSONL files (args: a.jsonl b.jsonl); exit 1 on divergence")
-		analyze   = flag.String("analyze", "", "print the per-phase virtual-time breakdown of this span-trace JSONL file")
-		faultSpec = flag.String("faults", defaultFaultSpec, "fault-injection spec for the query-2tbins-faulted benchmark")
+		out         = flag.String("out", "BENCH.json", "write results to this file ('-' = stdout)")
+		short       = flag.Bool("short", false, "run only the smoke subset (micro-benchmarks + analytic figures)")
+		run         = flag.String("run", "", "run only benchmarks whose name contains this substring")
+		baseFile    = flag.String("baseline", "", "compare against this BENCH.json; exit 1 on regression")
+		threshold   = flag.Float64("threshold", 1.10, "ns/op ratio above which a benchmark counts as regressed")
+		allocGate   = flag.String("allocgate", "query-2tbins", "also gate allocs/op for benchmarks whose name contains this substring (empty disables)")
+		allocThresh = flag.Float64("allocthreshold", 1.10, "allocs/op ratio above which a gated benchmark counts as regressed")
+		input       = flag.String("input", "", "compare this BENCH.json against -baseline instead of running")
+		list        = flag.Bool("list", false, "list benchmark names and exit")
+		diffMode    = flag.Bool("diff", false, "diff two span-trace JSONL files (args: a.jsonl b.jsonl); exit 1 on divergence")
+		analyze     = flag.String("analyze", "", "print the per-phase virtual-time breakdown of this span-trace JSONL file")
+		faultSpec   = flag.String("faults", defaultFaultSpec, "fault-injection spec for the query-2tbins-faulted benchmark")
 	)
 	flag.Parse()
 
@@ -158,7 +161,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if regressions := compare(base, current, *threshold); regressions > 0 {
+		if regressions := compare(base, current, *threshold, *allocGate, *allocThresh); regressions > 0 {
 			fmt.Fprintf(os.Stderr, "tcastbench: %d benchmark(s) regressed beyond %.2fx\n", regressions, *threshold)
 			os.Exit(1)
 		}
@@ -210,9 +213,12 @@ func runBenches(short bool, filter, faultSpec string) File {
 }
 
 // compare reports (and counts) the benchmarks whose ns/op grew beyond
-// threshold relative to base. Benchmarks present on only one side are
+// threshold relative to base. Benchmarks whose name contains allocGate are
+// additionally held to allocThresh on allocs/op — the hot-path benchmarks
+// are allocation-free by design, so new allocations are a regression even
+// when the wall clock hides them. Benchmarks present on only one side are
 // reported but never counted as regressions.
-func compare(base, current File, threshold float64) int {
+func compare(base, current File, threshold float64, allocGate string, allocThresh float64) int {
 	baseline := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseline[r.Name] = r
@@ -231,6 +237,11 @@ func compare(base, current File, threshold float64) int {
 		status := "ok"
 		if ratio > threshold {
 			status = "REGRESSED"
+			regressions++
+		}
+		if allocGate != "" && strings.Contains(r.Name, allocGate) &&
+			float64(r.AllocsOp) > float64(old.AllocsOp)*allocThresh {
+			status = fmt.Sprintf("ALLOCS REGRESSED (%d -> %d allocs/op)", old.AllocsOp, r.AllocsOp)
 			regressions++
 		}
 		fmt.Printf("%-24s %12.0f -> %12.0f ns/op  (%.2fx)  %s\n", r.Name, old.NsOp, r.NsOp, ratio, status)
@@ -356,6 +367,18 @@ func benches(faultSpec string) []bench {
 	return out
 }
 
+// trialState is the pooled per-trial scratch of the trial benchmarks — the
+// channel, the session arena, and the trial's derived RNG streams — mirroring
+// the sweep driver's pool so the bare benchmark prices the same
+// allocation-free hot path the figures run on.
+type trialState struct {
+	ch        fastsim.Channel
+	arena     core.Arena
+	chr, algr rng.Source
+}
+
+var trialPool = sync.Pool{New: func() any { return new(trialState) }}
+
 // obsLayer selects the observability stack of a trialsBench entry.
 type obsLayer int
 
@@ -379,8 +402,11 @@ func trialsBench(name string, layer obsLayer) bench {
 	cfg := fastsim.DefaultConfig()
 	trial := func(builder *trace.Builder, col *audit.Collector) func(i int, r *rng.Source) (float64, error) {
 		return func(i int, r *rng.Source) (float64, error) {
-			ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
-			var q query.Querier = ch
+			st := trialPool.Get().(*trialState)
+			defer trialPool.Put(st)
+			r.SplitInto(1, &st.chr)
+			st.ch.ResetRandom(n, x, cfg, &st.chr)
+			var q query.Querier = &st.ch
 			var aud *audit.Auditor
 			if col != nil {
 				var err error
@@ -399,7 +425,8 @@ func trialsBench(name string, layer obsLayer) bench {
 				sq.StartSession("2tBins")
 				q = sq
 			}
-			res, err := (core.TwoTBins{}).Run(q, n, t, r.Split(2))
+			r.SplitInto(2, &st.algr)
+			res, err := (core.TwoTBins{}).RunIn(&st.arena, q, n, t, &st.algr)
 			if err != nil {
 				return 0, err
 			}
@@ -477,9 +504,13 @@ func faultedTrialsBench(spec string) bench {
 	}
 	retry := query.RetryPolicy{MaxRetries: 2, Backoff: 1}
 	trial := func(i int, r *rng.Source) (float64, error) {
-		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
-		q := query.WithRetry(faults.New(ch, fcfg, n, r.Split(9)), retry)
-		res, err := (core.TwoTBins{}).Run(q, n, t, r.Split(2))
+		st := trialPool.Get().(*trialState)
+		defer trialPool.Put(st)
+		r.SplitInto(1, &st.chr)
+		st.ch.ResetRandom(n, x, cfg, &st.chr)
+		q := query.WithRetry(faults.New(&st.ch, fcfg, n, r.Split(9)), retry)
+		r.SplitInto(2, &st.algr)
+		res, err := (core.TwoTBins{}).RunIn(&st.arena, q, n, t, &st.algr)
 		if err != nil {
 			return 0, err
 		}
@@ -530,11 +561,15 @@ func algBench(name string, alg core.Algorithm, n, t, x int, cfg fastsim.Config) 
 		short: true,
 		fn: func(b *testing.B) {
 			root := rng.New(1)
+			var st trialState
+			var r rng.Source
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r := root.Split(uint64(i))
-				ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
-				if _, err := alg.Run(ch, n, t, r.Split(2)); err != nil {
+				root.SplitInto(uint64(i), &r)
+				r.SplitInto(1, &st.chr)
+				st.ch.ResetRandom(n, x, cfg, &st.chr)
+				r.SplitInto(2, &st.algr)
+				if _, err := core.RunIn(&st.arena, alg, &st.ch, n, t, &st.algr); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,99 @@
+package binning
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcast/internal/rng"
+)
+
+// The arena partition must satisfy the partition invariants — every member
+// in exactly one bin, sizes within one of each other, node-less bins last —
+// and stay bit-identical to the package-level RandomPartition while its
+// buffers are recycled across calls.
+func TestQuickArenaPartitionInvariants(t *testing.T) {
+	var a Arena
+	f := func(seed uint64, nRaw, bRaw uint8) bool {
+		n := int(nRaw % 100)
+		b := int(bRaw%32) + 1
+		members := seq(n)
+
+		fresh := RandomPartition(members, b, rng.New(seed))
+		pooled := a.RandomPartition(members, b, rng.New(seed))
+
+		if len(pooled) != b || len(fresh) != b {
+			return false
+		}
+		seen := make(map[int]bool)
+		minSize, maxSize := n+1, -1
+		sawEmpty := false
+		for i, bin := range pooled {
+			if len(bin) == 0 {
+				sawEmpty = true
+			} else if sawEmpty {
+				t.Logf("non-empty bin %d after an empty one", i)
+				return false
+			}
+			if len(bin) < minSize {
+				minSize = len(bin)
+			}
+			if len(bin) > maxSize {
+				maxSize = len(bin)
+			}
+			for _, id := range bin {
+				if id < 0 || id >= n || seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		if b <= n && maxSize-minSize > 1 {
+			t.Logf("bin sizes %d..%d differ by more than one", minSize, maxSize)
+			return false
+		}
+		// Bit-identical to the allocating form, same seed.
+		for i := range fresh {
+			if len(fresh[i]) != len(pooled[i]) {
+				return false
+			}
+			for j := range fresh[i] {
+				if fresh[i][j] != pooled[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaPartitionDoesNotMutateInput(t *testing.T) {
+	var a Arena
+	members := seq(10)
+	a.RandomPartition(members, 3, rng.New(5))
+	for i, id := range members {
+		if id != i {
+			t.Fatalf("members[%d] = %d after partition, want %d", i, id, i)
+		}
+	}
+}
+
+func TestAppendProbabilisticBinMatchesProbabilisticBin(t *testing.T) {
+	members := seq(64)
+	want := ProbabilisticBin(members, 0.3, rng.New(11))
+	buf := make([]int, 0, 64)
+	got := AppendProbabilisticBin(buf[:0], members, 0.3, rng.New(11))
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}

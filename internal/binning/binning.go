@@ -19,14 +19,40 @@ import (
 // are empty of nodes; following Section IV-C they are placed last so early
 // termination never pays for them. It panics if b <= 0.
 func RandomPartition(members []int, b int, r *rng.Source) [][]int {
+	var a Arena
+	return a.RandomPartition(members, b, r)
+}
+
+// Arena owns the backing arrays of a partition — the shuffled member
+// buffer and the bin-header slice — so hot loops can re-partition every
+// round without allocating. The zero value is ready to use; each
+// RandomPartition call invalidates the bins returned by the previous one.
+// An Arena is not safe for concurrent use; pooled trial state holds one
+// arena per trial slot.
+type Arena struct {
+	buf  []int
+	bins [][]int
+}
+
+// RandomPartition is binning.RandomPartition drawing the identical random
+// sequence, with the shuffle performed in the arena's reused buffer and
+// the bin headers written into its reused slice.
+func (a *Arena) RandomPartition(members []int, b int, r *rng.Source) [][]int {
 	if b <= 0 {
 		panic("binning: bin count must be positive")
 	}
 	n := len(members)
-	shuffled := append([]int(nil), members...)
-	r.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if cap(a.buf) < n {
+		a.buf = make([]int, n)
+	}
+	shuffled := a.buf[:n]
+	copy(shuffled, members)
+	r.ShuffleInts(shuffled)
 
-	bins := make([][]int, b)
+	if cap(a.bins) < b {
+		a.bins = make([][]int, b)
+	}
+	bins := a.bins[:b]
 	// The first n%b bins receive ceil(n/b) nodes, the rest floor(n/b);
 	// bins beyond n stay empty and come last.
 	base := n / b
@@ -70,13 +96,19 @@ func DeterministicPartition(members []int, b int, r *rng.Source) [][]int {
 // with probability q. This is the probe of Section V-D (q = 2/t) and the
 // repeated sample of Section VI (q = 1/b).
 func ProbabilisticBin(members []int, q float64, r *rng.Source) []int {
-	var bin []int
+	return AppendProbabilisticBin(nil, members, q, r)
+}
+
+// AppendProbabilisticBin is ProbabilisticBin appending into dst (pass a
+// reused buffer sliced to length zero to draw the bin without allocating);
+// the Bernoulli draws are identical to ProbabilisticBin's.
+func AppendProbabilisticBin(dst, members []int, q float64, r *rng.Source) []int {
 	for _, id := range members {
 		if r.Bernoulli(q) {
-			bin = append(bin, id)
+			dst = append(dst, id)
 		}
 	}
-	return bin
+	return dst
 }
 
 // Strategy names a partition function so algorithm configs can select one.

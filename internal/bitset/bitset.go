@@ -82,6 +82,18 @@ func (s *Set) Remove(i int) {
 	}
 }
 
+// AddAll inserts every listed element (duplicates are fine). The word
+// stores skip Add's per-element membership branch and cardinality upkeep;
+// one recount at the end restores the cached count. This is the bulk
+// renderer of the query fast path.
+func (s *Set) AddAll(ids []int) {
+	for _, i := range ids {
+		s.check(i)
+		s.words[i/wordBits] |= 1 << uint(i%wordBits)
+	}
+	s.recount()
+}
+
 // Contains reports whether i is a member.
 func (s *Set) Contains(i int) bool {
 	if i < 0 || i >= s.n {
@@ -98,6 +110,44 @@ func (s *Set) Clear() {
 	s.count = 0
 }
 
+// Reset reinitializes s to an empty set of capacity n, reusing the backing
+// array when it is large enough. Hot loops that recycle per-trial sets call
+// Reset instead of New to stay allocation-free once warmed up.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	need := (n + wordBits - 1) / wordBits
+	if cap(s.words) < need {
+		s.words = make([]uint64, need)
+	} else {
+		s.words = s.words[:need]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+	s.count = 0
+}
+
+// Fill resets the membership to the full set {0, ..., n-1} without changing
+// the capacity.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	s.count = s.n
+}
+
+// CopyFrom makes s an exact copy of o (members and capacity), reusing s's
+// backing array when possible.
+func (s *Set) CopyFrom(o *Set) {
+	s.Reset(o.n)
+	copy(s.words, o.words)
+	s.count = o.count
+}
+
 // Clone returns an independent copy of the set.
 func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words)), n: s.n, count: s.count}
@@ -112,9 +162,18 @@ func (s *Set) Members() []int {
 
 // AppendMembers appends the elements in ascending order to dst and
 // returns the extended slice; hot loops pass a reused buffer to avoid
-// per-round allocations.
+// per-round allocations. The word loop is open-coded rather than built on
+// ForEach: a closure appending to dst captures the slice by reference and
+// forces a heap allocation per call, which profiles showed dominating the
+// query hot path.
 func (s *Set) AppendMembers(dst []int) []int {
-	s.ForEach(func(i int) { dst = append(dst, i) })
+	for w, word := range s.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, w*wordBits+b)
+			word &= word - 1
+		}
+	}
 	return dst
 }
 

@@ -1,0 +1,114 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcast/internal/rng"
+)
+
+// A recycled set after Reset must be indistinguishable from a fresh New,
+// whatever was in it and whether the capacity shrinks or grows.
+func TestQuickResetMatchesNew(t *testing.T) {
+	f := func(seed uint64, n1Raw, n2Raw uint8) bool {
+		n1, n2 := int(n1Raw), int(n2Raw)
+		r := rng.New(seed)
+		s := New(n1)
+		for i := 0; i < n1; i++ {
+			if r.Bernoulli(0.5) {
+				s.Add(i)
+			}
+		}
+		s.Reset(n2)
+		return s.Equal(New(n2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetThenFillMatchesFull(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		s.Add(i)
+	}
+	for _, n := range []int{130, 7, 200, 0, 64} {
+		s.Reset(n)
+		s.Fill()
+		if !s.Equal(Full(n)) {
+			t.Fatalf("Reset(%d)+Fill != Full(%d)", n, n)
+		}
+	}
+}
+
+func TestCopyFromMatchesClone(t *testing.T) {
+	src := New(100)
+	for _, i := range []int{1, 50, 63, 64, 99} {
+		src.Add(i)
+	}
+	var dst Set
+	for _, seedCap := range []int{0, 10, 300} {
+		dst.Reset(seedCap)
+		dst.CopyFrom(src)
+		if !dst.Equal(src) {
+			t.Fatalf("CopyFrom into cap-%d set differs from source", seedCap)
+		}
+		// The copy must be independent of the source.
+		dst.Remove(50)
+		if !src.Contains(50) {
+			t.Fatal("CopyFrom aliased the source's words")
+		}
+		src.Add(50)
+	}
+}
+
+func TestAppendMembersReusesBuffer(t *testing.T) {
+	s := New(70)
+	for _, i := range []int{3, 64, 69} {
+		s.Add(i)
+	}
+	buf := make([]int, 0, 8)
+	got := s.AppendMembers(buf)
+	want := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendMembers reallocated despite sufficient capacity")
+	}
+}
+
+func TestAddAllMatchesAdd(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, idsRaw []uint8) bool {
+		n := int(nRaw) + 1
+		_ = seed
+		ids := make([]int, len(idsRaw))
+		for i, v := range idsRaw {
+			ids[i] = int(v) % n
+		}
+		bulk := New(n)
+		bulk.AddAll(ids)
+		one := New(n)
+		for _, id := range ids {
+			one.Add(id)
+		}
+		return bulk.Equal(one) && bulk.Len() == one.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAllPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddAll accepted an out-of-range element")
+		}
+	}()
+	New(4).AddAll([]int{0, 4})
+}

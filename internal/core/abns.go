@@ -89,10 +89,15 @@ func (a ABNS) p0Mult() float64 {
 
 // Run implements Algorithm.
 func (a ABNS) Run(q query.Querier, n, t int, r *rng.Source) (Result, error) {
+	return a.RunIn(nil, q, n, t, r)
+}
+
+// RunIn implements ArenaRunner: Run with pooled session state.
+func (a ABNS) RunIn(ar *Arena, q query.Querier, n, t int, r *rng.Source) (Result, error) {
 	if err := validate(n, t); err != nil {
 		return Result{}, err
 	}
-	s := newSession(q, n, t, r, a.Strategy)
+	s := newSession(ar, q, n, t, r, a.Strategy)
 	return a.runSession(s, a.p0Mult()*float64(t))
 }
 
@@ -131,18 +136,26 @@ func (a ProbABNS) Name() string { return "ProbABNS" }
 
 // Run implements Algorithm.
 func (a ProbABNS) Run(q query.Querier, n, t int, r *rng.Source) (Result, error) {
+	return a.RunIn(nil, q, n, t, r)
+}
+
+// RunIn implements ArenaRunner: Run with pooled session state.
+func (a ProbABNS) RunIn(ar *Arena, q query.Querier, n, t int, r *rng.Source) (Result, error) {
 	if err := validate(n, t); err != nil {
 		return Result{}, err
 	}
-	s := newSession(q, n, t, r, a.Strategy)
+	s := newSession(ar, q, n, t, r, a.Strategy)
 	if _, decided := s.decision(); decided {
 		return s.finish(), nil
 	}
 	// Probe: one probabilistic bin with q = 2/t. For t <= 2 the probe
 	// would include (almost) everyone and teach us nothing; skip straight
-	// to 2tBins in that case.
+	// to 2tBins in that case. Members and probe land in the session's
+	// reused buffers; the Bernoulli draws match ProbabilisticBin's.
 	if t > 2 {
-		probe := binning.ProbabilisticBin(s.k.Candidates.Members(), 2/float64(t), s.r)
+		s.scratch = s.k.Candidates.AppendMembers(s.scratch[:0])
+		probe := binning.AppendProbabilisticBin(s.probeBuf[:0], s.scratch, 2/float64(t), s.r)
+		s.probeBuf = probe
 		if len(probe) > 0 {
 			resp, decided := s.queryBin(probe)
 			if decided {

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"tcast/internal/fastsim"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+)
+
+// Every algorithm's RunIn must be bit-identical to Run while the arena is
+// recycled across sessions of varying shape — the contract the pooled trial
+// loops depend on.
+func TestRunInMatchesRunAcrossAlgorithms(t *testing.T) {
+	algs := []func(ch *fastsim.Channel) Algorithm{
+		func(*fastsim.Channel) Algorithm { return TwoTBins{} },
+		func(*fastsim.Channel) Algorithm { return ExpIncrease{} },
+		func(*fastsim.Channel) Algorithm { return ExpIncrease{Variant: ExpPauseAndContinue} },
+		func(*fastsim.Channel) Algorithm { return ExpIncrease{Variant: ExpFourfold} },
+		func(*fastsim.Channel) Algorithm { return ABNS{} },
+		func(*fastsim.Channel) Algorithm { return ABNS{P0: 1} },
+		func(*fastsim.Channel) Algorithm { return ProbABNS{} },
+		func(ch *fastsim.Channel) Algorithm { return Oracle{Truth: ch} },
+	}
+	cfgs := []fastsim.Config{fastsim.DefaultConfig(), fastsim.TwoPlusConfig()}
+	for ai, fac := range algs {
+		var arena Arena // shared across every trial of this algorithm
+		for _, cfg := range cfgs {
+			for seed := uint64(1); seed <= 8; seed++ {
+				n := 32 + int(seed%3)*48
+				tt := 4 + int(seed%2)*8
+				x := int(seed * 3 % 30)
+
+				freshR := rng.New(seed)
+				chF, _ := fastsim.RandomPositives(n, x, cfg, freshR.Split(1))
+				want, errW := fac(chF).Run(chF, n, tt, freshR.Split(2))
+
+				poolR := rng.New(seed)
+				chP, _ := fastsim.RandomPositives(n, x, cfg, poolR.Split(1))
+				got, errG := RunIn(&arena, fac(chP), chP, n, tt, poolR.Split(2))
+
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("alg %d seed %d: error mismatch: %v vs %v", ai, seed, errW, errG)
+				}
+				if got != want {
+					t.Fatalf("alg %d seed %d n=%d t=%d x=%d: RunIn %+v, Run %+v", ai, seed, n, tt, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+// wrapAlg hides the wrapped algorithm's RunIn, exercising the RunIn
+// helper's fallback to plain Run.
+type wrapAlg struct{ inner Algorithm }
+
+func (a wrapAlg) Name() string { return a.inner.Name() }
+func (a wrapAlg) Run(q query.Querier, n, t int, r *rng.Source) (Result, error) {
+	return a.inner.Run(q, n, t, r)
+}
+
+func TestRunInFallsBackWithoutArenaRunner(t *testing.T) {
+	var arena Arena
+	r := rng.New(4)
+	ch, _ := fastsim.RandomPositives(64, 10, fastsim.DefaultConfig(), r.Split(1))
+	want, err := TwoTBins{}.Run(ch, 64, 8, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := rng.New(4)
+	ch2, _ := fastsim.RandomPositives(64, 10, fastsim.DefaultConfig(), r2.Split(1))
+	got, err := RunIn(&arena, wrapAlg{TwoTBins{}}, ch2, 64, 8, r2.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fallback RunIn %+v, Run %+v", got, want)
+	}
+}
+
+func TestRunInNilArena(t *testing.T) {
+	r := rng.New(3)
+	ch, _ := fastsim.RandomPositives(64, 10, fastsim.DefaultConfig(), r.Split(1))
+	want, err := TwoTBins{}.Run(ch, 64, 8, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := rng.New(3)
+	ch2, _ := fastsim.RandomPositives(64, 10, fastsim.DefaultConfig(), r2.Split(1))
+	got, err := TwoTBins{}.RunIn(nil, ch2, 64, 8, r2.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("RunIn(nil) %+v, Run %+v", got, want)
+	}
+}

@@ -55,6 +55,35 @@ var ErrRoundLimit = errors.New("core: round limit exceeded")
 // would-be livelocks into errors.
 const maxRounds = 100000
 
+// Arena pools the per-session allocations — the knowledge ledger (with
+// its candidate bitset), the session struct, and every partition and probe
+// buffer — so a trial loop can run session after session without touching
+// the allocator. The zero value is ready; pass it to an algorithm's RunIn
+// (or the RunIn helper) and reuse it across runs. An Arena is not safe for
+// concurrent use: pool one per worker or per trial slot.
+type Arena struct {
+	k    *query.Knowledge
+	sess session
+}
+
+// newSession returns a session over participants {0..n-1} with threshold
+// t, drawing its state from the arena when one is supplied (a nil arena
+// allocates fresh state, preserving Run's historical behaviour).
+func newSession(a *Arena, q query.Querier, n, t int, r *rng.Source, strategy binning.Strategy) *session {
+	if a == nil {
+		return &session{q: q, k: query.NewKnowledge(n, t), r: r, custom: strategy}
+	}
+	if a.k == nil {
+		a.k = query.NewKnowledge(n, t)
+	} else {
+		a.k.Reset(n, t)
+	}
+	s := &a.sess
+	s.q, s.k, s.r, s.custom = q, a.k, r, strategy
+	s.res = Result{}
+	return s
+}
+
 // session carries the per-run state shared by the round-based algorithms.
 type session struct {
 	q query.Querier
@@ -62,43 +91,32 @@ type session struct {
 	r *rng.Source
 	// custom is a caller-supplied partition strategy; nil selects the
 	// default random equal-sized partition on a zero-allocation fast
-	// path (scratch and binsBuf are reused across rounds).
+	// path (scratch and the partition arena are reused across rounds).
 	custom  binning.Strategy
 	scratch []int
-	binsBuf [][]int
-	res     Result
-}
-
-func newSession(q query.Querier, n, t int, r *rng.Source, strategy binning.Strategy) *session {
-	return &session{q: q, k: query.NewKnowledge(n, t), r: r, custom: strategy}
+	arena   binning.Arena
+	// probeBuf is ProbABNS's reused probabilistic-bin buffer.
+	probeBuf []int
+	res      Result
 }
 
 // partition splits the current candidates into b bins, returning only the
-// bins that contain nodes. The default path shuffles a reused buffer in
-// place and slices it, drawing exactly the same random sequence as
-// binning.RandomPartition.
+// bins that contain nodes. The default path shuffles the members into the
+// session's partition arena, drawing exactly the same random sequence as
+// binning.RandomPartition; callers clamp b to the candidate count, so
+// every returned bin is non-empty.
 func (s *session) partition(b int) [][]int {
 	s.scratch = s.k.Candidates.AppendMembers(s.scratch[:0])
 	members := s.scratch
 	if s.custom != nil {
 		return binning.NonEmpty(s.custom(members, b, s.r))
 	}
-	s.r.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
-	bins := s.binsBuf[:0]
-	base, extra := len(members)/b, len(members)%b
-	pos := 0
-	for i := 0; i < b; i++ {
-		size := base
-		if i < extra {
-			size++
-		}
-		if size == 0 {
-			break // node-less bins are never polled (Section IV-C)
-		}
-		bins = append(bins, members[pos:pos+size])
-		pos += size
+	bins := s.arena.RandomPartition(members, b, s.r)
+	// Node-less bins are never polled (Section IV-C); RandomPartition
+	// puts them last, so the non-empty bins are a prefix.
+	if len(members) < len(bins) {
+		bins = bins[:len(members)]
 	}
-	s.binsBuf = bins
 	return bins
 }
 
@@ -186,6 +204,23 @@ func (s *session) runWithPolicy(nextBins func(round int, prev roundOutcome) int)
 		prev = out
 	}
 	return s.res, fmt.Errorf("%w after %d rounds", ErrRoundLimit, maxRounds)
+}
+
+// ArenaRunner is implemented by every algorithm in this package: RunIn is
+// Run with the session state drawn from (and recycled into) an arena. A
+// nil arena is equivalent to Run.
+type ArenaRunner interface {
+	RunIn(a *Arena, q query.Querier, n, t int, r *rng.Source) (Result, error)
+}
+
+// RunIn executes one session of alg with pooled session state when the
+// algorithm supports it, falling back to plain Run otherwise. Trial loops
+// use it so every tcast algorithm threads the same arena.
+func RunIn(a *Arena, alg Algorithm, q query.Querier, n, t int, r *rng.Source) (Result, error) {
+	if ar, ok := alg.(ArenaRunner); ok {
+		return ar.RunIn(a, q, n, t, r)
+	}
+	return alg.Run(q, n, t, r)
 }
 
 func validate(n, t int) error {

@@ -50,19 +50,26 @@ func (a Oracle) Name() string { return "Oracle" }
 
 // Run implements Algorithm.
 func (a Oracle) Run(q query.Querier, n, t int, r *rng.Source) (Result, error) {
+	return a.RunIn(nil, q, n, t, r)
+}
+
+// RunIn implements ArenaRunner: Run with pooled session state.
+func (a Oracle) RunIn(ar *Arena, q query.Querier, n, t int, r *rng.Source) (Result, error) {
 	if err := validate(n, t); err != nil {
 		return Result{}, err
 	}
-	s := newSession(q, n, t, r, a.Strategy)
+	s := newSession(ar, q, n, t, r, a.Strategy)
 	return s.runWithPolicy(func(round int, prev roundOutcome) int {
 		// Count the positives still hiding among the candidates and
-		// the threshold still to be proven.
+		// the threshold still to be proven. The members land in the
+		// session's scratch buffer so the count allocates nothing.
 		x := 0
-		s.k.Candidates.ForEach(func(id int) {
+		s.scratch = s.k.Candidates.AppendMembers(s.scratch[:0])
+		for _, id := range s.scratch {
 			if a.Truth.IsPositive(id) {
 				x++
 			}
-		})
+		}
 		nRem := s.k.Candidates.Len()
 		tRem := t - s.k.Confirmed
 		if tRem < 1 {

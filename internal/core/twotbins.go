@@ -23,10 +23,15 @@ func (a TwoTBins) Name() string { return "2tBins" }
 
 // Run implements Algorithm.
 func (a TwoTBins) Run(q query.Querier, n, t int, r *rng.Source) (Result, error) {
+	return a.RunIn(nil, q, n, t, r)
+}
+
+// RunIn implements ArenaRunner: Run with pooled session state.
+func (a TwoTBins) RunIn(ar *Arena, q query.Querier, n, t int, r *rng.Source) (Result, error) {
 	if err := validate(n, t); err != nil {
 		return Result{}, err
 	}
-	s := newSession(q, n, t, r, a.Strategy)
+	s := newSession(ar, q, n, t, r, a.Strategy)
 	return s.runWithPolicy(func(round int, prev roundOutcome) int {
 		return 2 * t
 	})
@@ -87,6 +92,11 @@ func (a ExpIncrease) Name() string {
 
 // Run implements Algorithm.
 func (a ExpIncrease) Run(q query.Querier, n, t int, r *rng.Source) (Result, error) {
+	return a.RunIn(nil, q, n, t, r)
+}
+
+// RunIn implements ArenaRunner: Run with pooled session state.
+func (a ExpIncrease) RunIn(ar *Arena, q query.Querier, n, t int, r *rng.Source) (Result, error) {
 	if err := validate(n, t); err != nil {
 		return Result{}, err
 	}
@@ -94,7 +104,7 @@ func (a ExpIncrease) Run(q query.Querier, n, t int, r *rng.Source) (Result, erro
 	if pause == 0 {
 		pause = 0.5
 	}
-	s := newSession(q, n, t, r, a.Strategy)
+	s := newSession(ar, q, n, t, r, a.Strategy)
 	binNum := 2
 	candidatesBefore := n
 	return s.runWithPolicy(func(round int, prev roundOutcome) int {

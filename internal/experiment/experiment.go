@@ -151,6 +151,12 @@ func RunTrials(runs, workers int, root *rng.Source, trial func(i int, r *rng.Sou
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Each worker reuses one derived stream: SplitInto reseeds it
+			// per trial with the same state Split(i) would allocate, and
+			// Split never advances the parent, so concurrent derivation
+			// from the shared root is safe and the values stay
+			// bit-identical to the allocating form.
+			var src rng.Source
 			for i := w; i < runs; i += workers {
 				// A worker's indices only grow, so once one passes the
 				// lowest failure it can stop: no later trial of this
@@ -158,7 +164,8 @@ func RunTrials(runs, workers int, root *rng.Source, trial func(i int, r *rng.Sou
 				if int64(i) > failIdx.Load() {
 					return
 				}
-				v, err := trial(i, root.Split(uint64(i)))
+				root.SplitInto(uint64(i), &src)
+				v, err := trial(i, &src)
 				if err != nil {
 					mu.Lock()
 					if int64(i) < failIdx.Load() {
@@ -262,6 +269,20 @@ func plainAlg(a core.Algorithm) algChannelFactory {
 	return func(*fastsim.Channel) core.Algorithm { return a }
 }
 
+// trialState is the pooled per-trial scratch of tcastCost: the simulated
+// channel, the session arena, and the two derived RNG streams every trial
+// draws. Pooling it takes the bare trial path (no observability layers
+// configured) down to zero allocations per trial; the reseeding calls
+// (ResetRandom, SplitInto, RunIn) draw exactly the sequences their
+// allocating equivalents do, so pooled trials are bit-identical.
+type trialState struct {
+	ch        fastsim.Channel
+	arena     core.Arena
+	chr, algr rng.Source
+}
+
+var trialPool = sync.Pool{New: func() any { return new(trialState) }}
+
 // tcastCost measures one tcast session's query count on a fresh channel
 // with exactly x positives. o.Metrics interposes the instrumented querier,
 // recording every group poll; o.Audit stacks the ground-truth auditor over
@@ -272,7 +293,11 @@ func plainAlg(a core.Algorithm) algChannelFactory {
 // identical in every combination.
 func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options) pointCost {
 	return func(trial int, r *rng.Source) (float64, error) {
-		ch, _ := fastsim.RandomPositives(n, x, cfg, r.Split(1))
+		st := trialPool.Get().(*trialState)
+		defer trialPool.Put(st)
+		r.SplitInto(1, &st.chr)
+		st.ch.ResetRandom(n, x, cfg, &st.chr)
+		ch := &st.ch
 		alg := fac(ch)
 		q := metrics.Wrap(o.wrapFaults(ch, n, r), o.Metrics)
 		var aud *audit.Auditor
@@ -298,7 +323,8 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
 			q = sq
 		}
-		res, err := alg.Run(q, n, t, r.Split(2))
+		r.SplitInto(2, &st.algr)
+		res, err := core.RunIn(&st.arena, alg, q, n, t, &st.algr)
 		if aud != nil {
 			if err == nil {
 				// Finish before EndSession so the verdict annotates the

@@ -1,0 +1,99 @@
+package fastsim
+
+import (
+	"testing"
+
+	"tcast/internal/query"
+	"tcast/internal/rng"
+)
+
+// referenceQuery is the pre-fast-path lossless query: walk the bin, collect
+// the heard positives (Bernoulli(0) consumes no randomness under
+// MissProb == 0), then resolve the response exactly as the slow path does.
+// The fast path must match it response for response AND draw for draw.
+func referenceQuery(c *Channel, bin []int, r *rng.Source) query.Response {
+	var heard []int
+	for _, id := range bin {
+		if c.IsPositive(id) {
+			heard = append(heard, id)
+		}
+	}
+	if len(heard) == 0 {
+		if c.cfg.FalseActiveProb > 0 && r.Bernoulli(c.cfg.FalseActiveProb) {
+			if c.cfg.Model == query.OnePlus {
+				return query.Response{Kind: query.Active}
+			}
+			return query.Response{Kind: query.Collision}
+		}
+		return query.Response{Kind: query.Empty}
+	}
+	if c.cfg.Model == query.OnePlus {
+		return query.Response{Kind: query.Active}
+	}
+	if r.Bernoulli(c.cfg.Capture(len(heard))) {
+		return query.Response{Kind: query.Decoded, DecodedID: heard[r.Intn(len(heard))]}
+	}
+	return query.Response{Kind: query.Collision}
+}
+
+func TestLosslessFastPathMatchesReference(t *testing.T) {
+	const n = 130 // capacity straddles a word boundary
+	configs := []Config{
+		{Model: query.OnePlus},
+		{Model: query.OnePlus, FalseActiveProb: 0.3},
+		TwoPlusConfig(),
+		{Model: query.TwoPlus, Capture: GeometricCapture(0.3), CaptureEffectPresent: true, FalseActiveProb: 0.2},
+		{Model: query.TwoPlus, Capture: NoCapture()},
+	}
+	for ci, cfg := range configs {
+		for seed := uint64(1); seed <= 20; seed++ {
+			root := rng.New(seed)
+			fast, _ := RandomPositives(n, int(seed%40), cfg, root.Split(1))
+			refR := root.Split(1)
+			refR.Sample(n, int(seed%40)) // advance past the positive draw
+			binR := root.Split(5)
+			for polls := 0; polls < 50; polls++ {
+				// Bins of every size the algorithms produce, small and
+				// word-scale, with duplicates impossible (Sample draws
+				// distinct IDs, like real partitions).
+				bin := binR.Sample(n, binR.Intn(n))
+				want := referenceQuery(fast, bin, refR)
+				got := fast.Query(bin)
+				if got != want {
+					t.Fatalf("config %d seed %d poll %d: fast path %+v, reference %+v", ci, seed, polls, got, want)
+				}
+			}
+			// Same stream position afterwards: no extra or missing draws.
+			if fast.r.Uint64() != refR.Uint64() {
+				t.Fatalf("config %d seed %d: fast path left the RNG at a different position", ci, seed)
+			}
+		}
+	}
+}
+
+func TestResetRandomMatchesRandomPositives(t *testing.T) {
+	cfg := TwoPlusConfig()
+	var pooled Channel
+	for seed := uint64(1); seed <= 10; seed++ {
+		n := 64 + int(seed%3)*40
+		x := int(seed % 20)
+		fresh, set := RandomPositives(n, x, cfg, rng.New(seed))
+		pooled.ResetRandom(n, x, cfg, rng.New(seed))
+		if !pooled.PositiveSet().Equal(set) {
+			t.Fatalf("seed %d: pooled positives differ from fresh", seed)
+		}
+		if pooled.Stats() != (TxStats{}) {
+			t.Fatalf("seed %d: stats not zeroed: %+v", seed, pooled.Stats())
+		}
+		binR := rng.New(seed + 100)
+		for polls := 0; polls < 20; polls++ {
+			bin := binR.Sample(n, binR.Intn(n))
+			if got, want := pooled.Query(bin), fresh.Query(bin); got != want {
+				t.Fatalf("seed %d poll %d: pooled %+v, fresh %+v", seed, polls, got, want)
+			}
+		}
+		if pooled.Stats() != fresh.Stats() {
+			t.Fatalf("seed %d: stats diverged: %+v vs %+v", seed, pooled.Stats(), fresh.Stats())
+		}
+	}
+}

@@ -26,18 +26,38 @@ type CaptureModel func(k int) float64
 // additional simultaneous frame multiplies the success probability by
 // beta. The paper describes capture qualitatively ("decreasing probability
 // as the number of messages increase"); beta makes the strength explicit.
+//
+// The powers are precomputed by the same successive multiplication an
+// O(k) loop would perform — so the returned values are bit-identical to
+// the loop's — and the model is evaluated on every group poll, so the
+// table lookup keeps the query hot path O(1). Superpositions beyond the
+// table (k > 64 simultaneous frames) fall back to extending the product;
+// beta^63 already underflows any realistic capture probability.
 func GeometricCapture(beta float64) CaptureModel {
+	var pow [64]float64
+	pow[0] = 1
+	for i := 1; i < len(pow); i++ {
+		pow[i] = pow[i-1] * beta
+	}
 	return func(k int) float64 {
 		if k <= 1 {
 			return 1
 		}
-		p := 1.0
-		for i := 1; i < k; i++ {
+		if k-1 < len(pow) {
+			return pow[k-1]
+		}
+		p := pow[len(pow)-1]
+		for i := len(pow); i < k; i++ {
 			p *= beta
 		}
 		return p
 	}
 }
+
+// defaultCapture is the shared GeometricCapture(0.5) instance Config
+// defaulting binds, so constructing a channel per trial does not allocate
+// a fresh closure and power table each time.
+var defaultCapture = GeometricCapture(0.5)
 
 // InverseCapture returns the alternative model P(capture | k) = 1/k.
 func InverseCapture() CaptureModel {
@@ -94,7 +114,7 @@ func DefaultConfig() Config {
 func TwoPlusConfig() Config {
 	return Config{
 		Model:                query.TwoPlus,
-		Capture:              GeometricCapture(0.5),
+		Capture:              defaultCapture,
 		CaptureEffectPresent: true,
 	}
 }
@@ -109,6 +129,11 @@ type Channel struct {
 	// heard is reused across queries to keep the per-poll hot path
 	// allocation-free.
 	heard []int
+	// binSet is the reused bin bitset of the word-parallel query fast
+	// path (see Query); sized to the population on first use.
+	binSet *bitset.Set
+	// sampleBuf and idxBuf are ResetRandom's reused sampling buffers.
+	sampleBuf, idxBuf []int
 }
 
 // TxStats counts the radio work a session caused — the energy side of the
@@ -133,7 +158,7 @@ func New(n int, positives []int, cfg Config, r *rng.Source) *Channel {
 // NewFromSet is like New but takes ownership of an existing positive set.
 func NewFromSet(positives *bitset.Set, cfg Config, r *rng.Source) *Channel {
 	if cfg.Capture == nil {
-		cfg.Capture = GeometricCapture(0.5)
+		cfg.Capture = defaultCapture
 	}
 	return &Channel{positives: positives, cfg: cfg, r: r}
 }
@@ -147,6 +172,34 @@ func RandomPositives(n, x int, cfg Config, r *rng.Source) (*Channel, *bitset.Set
 	}
 	return NewFromSet(set, cfg, r), set
 }
+
+// ResetRandom reinitializes the channel in place for a fresh trial: the
+// positive set is redrawn exactly as RandomPositives draws it (the same
+// Sample call on r, so pooled and fresh channels are bit-identical), the
+// transmission ledger is zeroed, and every internal buffer is recycled.
+// Pooled trial state calls ResetRandom between trials instead of
+// allocating a new channel.
+func (c *Channel) ResetRandom(n, x int, cfg Config, r *rng.Source) {
+	if cfg.Capture == nil {
+		cfg.Capture = defaultCapture
+	}
+	if c.positives == nil {
+		c.positives = bitset.New(n)
+	} else {
+		c.positives.Reset(n)
+	}
+	c.sampleBuf, c.idxBuf = r.SampleInto(n, x, c.sampleBuf, c.idxBuf)
+	for _, id := range c.sampleBuf {
+		c.positives.Add(id)
+	}
+	c.cfg = cfg
+	c.r = r
+	c.stats = TxStats{}
+}
+
+// PositiveSet returns the channel's ground-truth positive set. The set is
+// owned by the channel; callers must not mutate it.
+func (c *Channel) PositiveSet() *bitset.Set { return c.positives }
 
 // Traits implements query.Querier.
 func (c *Channel) Traits() query.Traits {
@@ -186,7 +239,17 @@ func (c *Channel) TraceAttrs() []trace.Attr {
 
 // Query implements query.Querier: it polls the bin and reports what the
 // initiator's radio observes.
+//
+// With no per-reply loss configured every bin positive is heard, so the
+// response depends only on |bin ∩ positives|: the fast path renders the
+// bin into a reused bitset and counts the intersection word-parallel
+// instead of walking the positive set per node. Bernoulli(0) consumes no
+// randomness, so skipping the per-reply draws leaves the RNG stream — and
+// therefore every trace and figure — bit-identical to the slow path's.
 func (c *Channel) Query(bin []int) query.Response {
+	if c.cfg.MissProb == 0 {
+		return c.queryLossless(bin)
+	}
 	c.stats.Polls++
 	// heard collects the positive repliers whose frames reach the
 	// initiator.
@@ -224,6 +287,62 @@ func (c *Channel) Query(bin []int) query.Response {
 		return query.Response{
 			Kind:      query.Decoded,
 			DecodedID: heard[c.r.Intn(len(heard))],
+		}
+	}
+	return query.Response{Kind: query.Collision}
+}
+
+// queryLossless is the MissProb == 0 fast path: no reply can be missed, so
+// heard would equal the bin's positives in bin order and the response
+// depends only on k = |bin ∩ positives|. Large bins are rendered into the
+// reused bin bitset with branch-free word stores and counted word-parallel
+// against the positives words (IntersectionCount); small bins — the common
+// case once a session is past its opening rounds — skip the render and
+// count membership directly, which profiles faster below a few elements
+// per word. The decoded replier — uniform over heard in the slow path — is
+// selected by drawing the same Intn(k) index and scanning the bin for its
+// j-th positive, which is exactly heard[j]. Either way k is exact, so the
+// RNG draw sequence matches the slow path's bit for bit.
+func (c *Channel) queryLossless(bin []int) query.Response {
+	c.stats.Polls++
+	var k int
+	if len(bin) >= 4*((c.positives.Cap()+63)/64) {
+		if c.binSet == nil || c.binSet.Cap() != c.positives.Cap() {
+			c.binSet = bitset.New(c.positives.Cap())
+		}
+		c.binSet.AddAll(bin)
+		k = c.binSet.IntersectionCount(c.positives)
+		c.binSet.Clear()
+	} else {
+		for _, id := range bin {
+			if c.positives.Contains(id) {
+				k++
+			}
+		}
+	}
+	c.stats.Replies += k
+	if k == 0 {
+		if c.cfg.FalseActiveProb > 0 && c.r.Bernoulli(c.cfg.FalseActiveProb) {
+			// Interference artifact, exactly as in the slow path.
+			if c.cfg.Model == query.OnePlus {
+				return query.Response{Kind: query.Active}
+			}
+			return query.Response{Kind: query.Collision}
+		}
+		return query.Response{Kind: query.Empty}
+	}
+	if c.cfg.Model == query.OnePlus {
+		return query.Response{Kind: query.Active}
+	}
+	if c.r.Bernoulli(c.cfg.Capture(k)) {
+		j := c.r.Intn(k)
+		for _, id := range bin {
+			if c.positives.Contains(id) {
+				if j == 0 {
+					return query.Response{Kind: query.Decoded, DecodedID: id}
+				}
+				j--
+			}
 		}
 	}
 	return query.Response{Kind: query.Collision}

@@ -75,13 +75,21 @@ type Config struct {
 	// window opens late and misses the first reply symbols — the whole
 	// reply is lost and the poll reads as silence.
 	SkewProb float64
+	// DecodeCorruptProb is the probability that a decoded frame's ID
+	// field is corrupted in flight: the initiator decodes a uniformly
+	// random node ID instead of the replier's. The forged ID may name a
+	// negative or already-eliminated node — the audit layer's
+	// corrupt_decode class — so the ledger must not take it at face
+	// value. Only fires on 2+ substrates (there is nothing to corrupt in
+	// a 1+ activity indication).
+	DecodeCorruptProb float64
 }
 
 // Active reports whether any fault process can fire. An inactive config
 // makes every fault layer a transparent pass-through that consumes no
 // randomness.
 func (c Config) Active() bool {
-	return c.Burst.Active() || c.Churn.Active() || c.SkewProb > 0
+	return c.Burst.Active() || c.Churn.Active() || c.SkewProb > 0 || c.DecodeCorruptProb > 0
 }
 
 // normalized applies the documented defaulting: an active burst chain
@@ -105,6 +113,8 @@ func (c Config) normalized() Config {
 //	churn=P     per-step crash probability
 //	recover=P   per-step recover probability (default 0.1 when churn set)
 //	skew=P      per-poll initiator listen-window miss probability
+//	corrupt=P   per-decode probability the decoded ID is corrupted to a
+//	            uniformly random node (2+ substrates only)
 //
 // The empty string parses to the zero Config.
 func ParseSpec(spec string) (Config, error) {
@@ -137,6 +147,8 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.Churn.RecoverProb = f
 		case "skew":
 			cfg.SkewProb = f
+		case "corrupt":
+			cfg.DecodeCorruptProb = f
 		default:
 			return Config{}, fmt.Errorf("faults: unknown key %q", key)
 		}
@@ -159,7 +171,7 @@ func ParseSpec(spec string) (Config, error) {
 	if cfg.Churn.Active() && cfg.Churn.RecoverProb == 0 {
 		cfg.Churn.RecoverProb = 0.1
 	}
-	for _, p := range []float64{cfg.Burst.MissGood, cfg.Burst.MissBad, cfg.Churn.CrashProb, cfg.Churn.RecoverProb, cfg.SkewProb} {
+	for _, p := range []float64{cfg.Burst.MissGood, cfg.Burst.MissBad, cfg.Churn.CrashProb, cfg.Churn.RecoverProb, cfg.SkewProb, cfg.DecodeCorruptProb} {
 		if p < 0 || p > 1 {
 			return Config{}, fmt.Errorf("faults: probability %v outside [0, 1]", p)
 		}
@@ -185,11 +197,15 @@ type PollFault struct {
 	// Crashed and Recovered list the churn transitions drawn at this
 	// poll's step, whether or not the nodes were in the bin.
 	Crashed, Recovered []int
+	// CorruptDecode reports that the decoded frame's ID field was
+	// corrupted; ForgedID is the ID the initiator decoded instead.
+	CorruptDecode bool
+	ForgedID      int
 }
 
 // touched reports whether anything observable happened at this poll.
 func (f PollFault) touched() bool {
-	return f.Skewed || len(f.Lost) > 0 || len(f.Silenced) > 0 ||
+	return f.Skewed || f.CorruptDecode || len(f.Lost) > 0 || len(f.Silenced) > 0 ||
 		len(f.Crashed) > 0 || len(f.Recovered) > 0
 }
 
@@ -198,6 +214,9 @@ func (f PollFault) String() string {
 	var parts []string
 	if f.Skewed {
 		parts = append(parts, "skewed listen window")
+	}
+	if f.CorruptDecode {
+		parts = append(parts, fmt.Sprintf("decode corrupted to ID %d", f.ForgedID))
 	}
 	if len(f.Lost) > 0 {
 		parts = append(parts, fmt.Sprintf("burst-lost replies %v", f.Lost))
@@ -219,12 +238,13 @@ func (f PollFault) String() string {
 
 // Counts aggregates the injector's fault activity for trace annotation.
 type Counts struct {
-	Polls    int // polls seen
-	Skewed   int // polls forced to silence by listen-window skew
-	Lost     int // bin memberships dropped by the burst process
-	Silenced int // bin memberships silenced by churn
-	Crashes  int // crash transitions
-	Recovers int // recover transitions
+	Polls     int // polls seen
+	Skewed    int // polls forced to silence by listen-window skew
+	Lost      int // bin memberships dropped by the burst process
+	Silenced  int // bin memberships silenced by churn
+	Crashes   int // crash transitions
+	Recovers  int // recover transitions
+	Corrupted int // decoded IDs corrupted in flight
 }
 
 // Injector wraps a query.Querier and degrades its polls. It implements
@@ -283,6 +303,15 @@ func (j *Injector) Query(bin []int) query.Response {
 		pf.Skewed = true
 		j.counts.Skewed++
 		resp = query.Response{Kind: query.Empty}
+	}
+	if j.cfg.DecodeCorruptProb > 0 && resp.Kind == query.Decoded &&
+		j.r.Bernoulli(j.cfg.DecodeCorruptProb) {
+		// Corrupt the frame's ID field: the initiator decodes a uniform
+		// random node, which may be negative or already eliminated.
+		pf.CorruptDecode = true
+		pf.ForgedID = j.r.Intn(j.n)
+		j.counts.Corrupted++
+		resp.DecodedID = pf.ForgedID
 	}
 	if pf.touched() {
 		j.events = append(j.events, pf)
@@ -385,6 +414,7 @@ func (j *Injector) TraceAttrs() []trace.Attr {
 		trace.IntAttr("fault_silenced", j.counts.Silenced),
 		trace.IntAttr("fault_crashes", j.counts.Crashes),
 		trace.IntAttr("fault_recovers", j.counts.Recovers),
+		trace.IntAttr("fault_corrupted", j.counts.Corrupted),
 	}
 }
 

@@ -35,10 +35,29 @@ type Knowledge struct {
 // NewKnowledge starts a session over participants {0..n-1} with
 // threshold t. It panics if t < 0.
 func NewKnowledge(n, t int) *Knowledge {
+	k := &Knowledge{}
+	k.Reset(n, t)
+	return k
+}
+
+// Reset reinitializes the ledger for a fresh session over {0..n-1} with
+// threshold t, recycling the candidate set's backing storage. Pooled trial
+// state calls Reset between sessions instead of allocating a new ledger;
+// the result is indistinguishable from NewKnowledge(n, t). It panics if
+// t < 0.
+func (k *Knowledge) Reset(n, t int) {
 	if t < 0 {
 		panic("query: negative threshold")
 	}
-	return &Knowledge{Candidates: bitset.Full(n), Threshold: t}
+	if k.Candidates == nil {
+		k.Candidates = bitset.Full(n)
+	} else {
+		k.Candidates.Reset(n)
+		k.Candidates.Fill()
+	}
+	k.Confirmed = 0
+	k.Threshold = t
+	k.roundLB = 0
 }
 
 // StartRound resets the per-round lower bound. Call at the top of each
@@ -71,6 +90,19 @@ func (k *Knowledge) Apply(bin []int, r Response, traits Traits) {
 	case Collision:
 		k.roundLB += 2
 	case Decoded:
+		if !k.Candidates.Contains(r.DecodedID) {
+			// A decode naming a node that is not (or is no longer) a
+			// candidate can only come from a corrupt frame on a faulted
+			// substrate (the audit layer's corrupt_decode class). The
+			// activity is real — some positive replied — but the
+			// identity is not trustworthy, so count the response like
+			// Active instead of confirming. Crediting Confirmed here
+			// would double-count an already-confirmed node (or count a
+			// proven negative), letting UpperBound grow past ground
+			// truth and corrupting the decision.
+			k.roundLB++
+			return
+		}
 		k.Confirmed++
 		k.Candidates.Remove(r.DecodedID)
 		if r.MaxPositives(bin, traits) == 1 {

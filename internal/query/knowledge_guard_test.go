@@ -1,0 +1,86 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// A decode naming a node that is not (or is no longer) a candidate can only
+// come from a corrupt frame. The ledger must count the activity like Active
+// instead of crediting Confirmed: double-crediting an already-confirmed node
+// lets UpperBound grow past ground truth.
+func TestApplyCorruptDecodeDoesNotDoubleConfirm(t *testing.T) {
+	k := NewKnowledge(8, 3)
+	traits := Traits{Model: TwoPlus, CaptureEffect: true}
+
+	k.StartRound()
+	k.Apply([]int{5, 6}, Response{Kind: Decoded, DecodedID: 5}, traits)
+	if k.Confirmed != 1 || k.Candidates.Contains(5) {
+		t.Fatalf("after genuine decode: Confirmed=%d, Contains(5)=%v", k.Confirmed, k.Candidates.Contains(5))
+	}
+	ub := k.UpperBound()
+	lb := k.LowerBound()
+
+	// Corrupt frame: the same ID decoded again, though it is no longer a
+	// candidate.
+	k.Apply([]int{3, 4}, Response{Kind: Decoded, DecodedID: 5}, traits)
+	if k.Confirmed != 1 {
+		t.Errorf("corrupt decode re-credited Confirmed: got %d, want 1", k.Confirmed)
+	}
+	if got := k.UpperBound(); got > ub {
+		t.Errorf("UpperBound grew across corrupt decode: %d -> %d", ub, got)
+	}
+	if got := k.LowerBound(); got != lb+1 {
+		t.Errorf("corrupt decode should count like Active: LowerBound %d -> %d, want %d", lb, got, lb+1)
+	}
+}
+
+func TestApplyCorruptDecodeOfEliminatedNode(t *testing.T) {
+	k := NewKnowledge(8, 3)
+	traits := Traits{Model: TwoPlus, CaptureEffect: true}
+
+	k.StartRound()
+	// Bin {0,1} is silent: both proven negative.
+	k.Apply([]int{0, 1}, Response{Kind: Empty}, traits)
+	ub := k.UpperBound()
+
+	// Corrupt frame names the proven-negative node 0.
+	k.Apply([]int{2, 3}, Response{Kind: Decoded, DecodedID: 0}, traits)
+	if k.Confirmed != 0 {
+		t.Errorf("corrupt decode confirmed a proven negative: Confirmed=%d", k.Confirmed)
+	}
+	if got := k.UpperBound(); got > ub {
+		t.Errorf("UpperBound grew across corrupt decode: %d -> %d", ub, got)
+	}
+	if k.RoundLowerBound() != 1 {
+		t.Errorf("RoundLowerBound = %d, want 1 (counted like Active)", k.RoundLowerBound())
+	}
+}
+
+// Reset must be indistinguishable from NewKnowledge, whatever state the
+// recycled ledger carried, including a shrunk or grown population.
+func TestQuickResetMatchesNewKnowledge(t *testing.T) {
+	f := func(n1Raw, n2Raw, tRaw uint8, confirm []uint8) bool {
+		n1, n2 := int(n1Raw%200), int(n2Raw%200)
+		thr := int(tRaw % 50)
+		k := NewKnowledge(n1, thr)
+		k.StartRound()
+		for _, c := range confirm {
+			if n1 == 0 {
+				break
+			}
+			id := int(c) % n1
+			k.Apply([]int{id}, Response{Kind: Decoded, DecodedID: id}, Traits{Model: TwoPlus, CaptureEffect: true})
+		}
+		k.Reset(n2, thr)
+		fresh := NewKnowledge(n2, thr)
+		if k.Confirmed != fresh.Confirmed || k.Threshold != fresh.Threshold ||
+			k.RoundLowerBound() != fresh.RoundLowerBound() {
+			return false
+		}
+		return k.Candidates.Equal(fresh.Candidates)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,10 +26,18 @@ func (p RetryPolicy) Active() bool { return p.MaxRetries > 0 }
 type Retry struct {
 	q      Querier
 	policy RetryPolicy
-	// meter is the substrate's own slot counter, discovered at
-	// construction by walking the chain (nil when the substrate prices
-	// polls implicitly at one slot each).
+	// meter is the innermost (substrate) slot counter, discovered at
+	// construction by walking the chain all the way down and keeping the
+	// deepest non-Retry counter (nil when the substrate prices polls
+	// implicitly at one slot each). Binding the first counter found would
+	// grab an intermediate layer — another Retry, or any middleware
+	// forwarding the substrate's Slots() — and misprice stacked policies:
+	// a forwarded meter hides the backoff of retry layers beneath it.
 	meter interface{ Slots() int }
+	// below lists the Retry layers between this one and the substrate,
+	// outermost first; their backoff waits (and, with no substrate meter,
+	// the deepest layer's attempt count) complete the slot ledger.
+	below []*Retry
 
 	attempts int // polls issued downstream, including first attempts
 	retries  int // attempts beyond the first
@@ -45,9 +53,12 @@ func WithRetry(q Querier, p RetryPolicy) Querier {
 	}
 	r := &Retry{q: q, policy: p}
 	for walk := q; ; {
-		if sc, ok := walk.(interface{ Slots() int }); ok {
+		if rr, ok := walk.(*Retry); ok {
+			r.below = append(r.below, rr)
+		} else if sc, ok := walk.(interface{ Slots() int }); ok {
+			// Keep walking: a deeper counter supersedes this one, so the
+			// binding lands on the substrate's own meter.
 			r.meter = sc
-			break
 		}
 		w, ok := walk.(Wrapper)
 		if !ok {
@@ -104,14 +115,24 @@ func (r *Retry) TraceRound(round int) {
 
 // Slots is the virtual-time ledger the trace layer meters sessions by:
 // the substrate's own slot count (or one slot per attempt when it has no
-// meter) plus every backoff wait. The span recorder finds this layer
+// meter) plus every backoff wait of every retry layer in the chain. With
+// no substrate meter the deepest retry layer's attempt count is the true
+// downstream poll count — this layer's own attempts undercount when a
+// layer beneath it re-polls. The span recorder finds the outermost retry
 // first when walking the chain, so retried polls are priced at their full
 // cost instead of the one-poll default.
 func (r *Retry) Slots() int {
-	if r.meter != nil {
-		return r.meter.Slots() + r.backoff
+	slots := r.backoff
+	for _, rr := range r.below {
+		slots += rr.backoff
 	}
-	return r.attempts + r.backoff
+	if r.meter != nil {
+		return r.meter.Slots() + slots
+	}
+	if n := len(r.below); n > 0 {
+		return r.below[n-1].attempts + slots
+	}
+	return r.attempts + slots
 }
 
 // Attempts returns the polls issued downstream, first attempts included.

@@ -113,6 +113,77 @@ func (p *passthroughQ) Query(bin []int) Response { return p.q.Query(bin) }
 func (p *passthroughQ) Traits() Traits           { return p.q.Traits() }
 func (p *passthroughQ) Unwrap() Querier          { return p.q }
 
+// meterForwardingQ is middleware that memoizes the substrate meter at
+// construction and exposes it as its own Slots() — the pattern the trace
+// layer's span recorder uses. Placed above a Retry layer it reports the
+// substrate's slots but is blind to that retry's backoff, which is exactly
+// the counter the old first-match walk would misbind.
+type meterForwardingQ struct {
+	q     Querier
+	meter interface{ Slots() int }
+}
+
+func (f *meterForwardingQ) Query(bin []int) Response { return f.q.Query(bin) }
+func (f *meterForwardingQ) Traits() Traits           { return f.q.Traits() }
+func (f *meterForwardingQ) Unwrap() Querier          { return f.q }
+func (f *meterForwardingQ) Slots() int               { return f.meter.Slots() }
+
+// TestStackedRetrySlotsThroughForwardingMeter is the pricing regression
+// test for the meter-discovery fix: with a meter-forwarding middleware
+// between two retry layers, binding the first Slots() found (the old
+// behaviour) prices the session off the forwarded substrate count and
+// silently drops the inner retry's backoff. The fix binds the innermost
+// (substrate) meter and adds every retry layer's backoff explicitly.
+func TestStackedRetrySlotsThroughForwardingMeter(t *testing.T) {
+	// Substrate poll sequence: inner retry (MaxRetries 1) sees
+	// Empty,Empty and gives up; outer retry backs off and re-polls, inner
+	// sees Empty then Active. Substrate: 4 polls at 3 slots each.
+	sub := &meteredQ{scriptedQ{script: []Kind{Empty, Empty, Empty, Active}}}
+	inner := WithRetry(sub, RetryPolicy{MaxRetries: 1, Backoff: 2}).(*Retry)
+	fwd := &meterForwardingQ{q: inner, meter: sub}
+	outer := WithRetry(fwd, RetryPolicy{MaxRetries: 2, Backoff: 5}).(*Retry)
+
+	if resp := outer.Query(nil); resp.Kind != Active {
+		t.Fatalf("Kind = %v, want Active", resp.Kind)
+	}
+	if sub.polls != 4 {
+		t.Fatalf("substrate polled %d times, want 4", sub.polls)
+	}
+	// True virtual time: 4 polls x 3 slots + inner backoff 2x2 + outer
+	// backoff 1x5 = 21. The pre-fix walk bound fwd (substrate slots only)
+	// and reported 12 + 5 = 17, losing the inner layer's backoff.
+	if got, want := outer.Slots(), 4*3+2*2+5; got != want {
+		t.Fatalf("Slots = %d, want %d (substrate + both layers' backoff)", got, want)
+	}
+}
+
+// TestStackedRetrySlotsMetered pins the plain stacked total: two retry
+// layers directly over a metered substrate price every attempt and every
+// backoff wait exactly once.
+func TestStackedRetrySlotsMetered(t *testing.T) {
+	sub := &meteredQ{scriptedQ{script: []Kind{Empty, Empty, Empty, Active}}}
+	inner := WithRetry(sub, RetryPolicy{MaxRetries: 1, Backoff: 2}).(*Retry)
+	outer := WithRetry(inner, RetryPolicy{MaxRetries: 2, Backoff: 5}).(*Retry)
+	outer.Query(nil)
+	if got, want := outer.Slots(), 4*3+2*2+5; got != want {
+		t.Fatalf("Slots = %d, want %d", got, want)
+	}
+}
+
+// TestStackedRetrySlotsUnmetered pins the unmetered stacked total: with no
+// substrate meter, polls are priced off the deepest retry layer's attempt
+// count (the true downstream poll count), not the outer layer's.
+func TestStackedRetrySlotsUnmetered(t *testing.T) {
+	sub := &scriptedQ{script: []Kind{Empty, Empty, Empty, Active}}
+	inner := WithRetry(sub, RetryPolicy{MaxRetries: 1, Backoff: 2}).(*Retry)
+	outer := WithRetry(inner, RetryPolicy{MaxRetries: 2, Backoff: 5}).(*Retry)
+	outer.Query(nil)
+	// 4 substrate polls + 2x2 inner backoff + 1x5 outer backoff.
+	if got, want := outer.Slots(), 4+2*2+5; got != want {
+		t.Fatalf("Slots = %d, want %d", got, want)
+	}
+}
+
 func TestDownstreamPoll(t *testing.T) {
 	// Poll 0 takes 1 attempt, poll 1 takes 3 (two silences), poll 2 takes
 	// 2; final attempts land at downstream indices 0, 3, 5.

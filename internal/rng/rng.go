@@ -10,7 +10,10 @@
 // stream definitions.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic pseudo-random stream. It is NOT safe for
 // concurrent use; derive one Source per goroutine with Split.
@@ -58,16 +61,28 @@ func New(seed uint64) *Source {
 // purposes. Split does not advance the parent stream, so the derivation
 // tree is stable no matter how many values the parent has emitted.
 func (r *Source) Split(label uint64) *Source {
-	x := r.key ^ (label * 0xd1342543de82ef95)
 	var s Source
-	s.key = splitMix64(&x)
-	for i := range s.s {
-		s.s[i] = splitMix64(&x)
-	}
-	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
-		s.s[0] = 1
-	}
+	r.SplitInto(label, &s)
 	return &s
+}
+
+// SplitInto derives the same stream Split(label) would return, writing it
+// into *dst instead of allocating. dst may be a previously used Source; its
+// entire state (including any cached Box-Muller spare) is overwritten, so
+// SplitInto(label, dst) leaves dst bit-identical to Split(label). Deriving
+// reads only the parent's immutable key, so concurrent SplitInto calls on a
+// shared parent are safe.
+func (r *Source) SplitInto(label uint64, dst *Source) {
+	x := r.key ^ (label * 0xd1342543de82ef95)
+	dst.key = splitMix64(&x)
+	for i := range dst.s {
+		dst.s[i] = splitMix64(&x)
+	}
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 1
+	}
+	dst.spare = 0
+	dst.hasSpare = false
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -102,18 +117,11 @@ func (r *Source) Intn(n int) int {
 	}
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo). bits.Mul64
+// compiles to the single widening-multiply instruction on 64-bit targets,
+// which matters because every Intn draw multiplies here.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	aLo, aHi := a&mask32, a>>32
-	bLo, bHi := b&mask32, b>>32
-	t := aHi*bLo + (aLo*bLo)>>32
-	w1 := t & mask32
-	w2 := t >> 32
-	w1 += aLo * bHi
-	hi = aHi*bHi + w2 + (w1 >> 32)
-	lo = a * b
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Float64 returns a uniform float64 in [0, 1).
@@ -178,22 +186,49 @@ func (r *Source) Shuffle(n int, swap func(i, j int)) {
 	}
 }
 
+// ShuffleInts shuffles s in place, drawing exactly the sequence
+// Shuffle(len(s), swap) draws. The direct swaps replace the per-swap
+// closure call, which the partition hot path repeats every round.
+func (r *Source) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
 // Sample returns k distinct values drawn uniformly from [0, n) in random
 // order. It panics if k > n or k < 0.
 func (r *Source) Sample(n, k int) []int {
+	out, _ := r.SampleInto(n, k, nil, nil)
+	return out
+}
+
+// SampleInto is Sample with caller-owned buffers: the k results land in
+// dst (grown as needed) and idx is the length-n scratch for the partial
+// Fisher-Yates pass. It returns the result slice and the scratch for
+// reuse; the draws are bit-identical to Sample's.
+func (r *Source) SampleInto(n, k int, dst, idx []int) (out, scratch []int) {
 	if k < 0 || k > n {
 		panic("rng: Sample called with k out of range")
 	}
 	// Partial Fisher-Yates over a dense index array: O(n) setup, exact.
-	idx := make([]int, n)
+	if cap(idx) < n {
+		idx = make([]int, n)
+	} else {
+		idx = idx[:n]
+	}
 	for i := range idx {
 		idx[i] = i
 	}
-	out := make([]int, k)
+	if cap(dst) < k {
+		dst = make([]int, k)
+	} else {
+		dst = dst[:k]
+	}
 	for i := 0; i < k; i++ {
 		j := i + r.Intn(n-i)
 		idx[i], idx[j] = idx[j], idx[i]
-		out[i] = idx[i]
+		dst[i] = idx[i]
 	}
-	return out
+	return dst, idx
 }
