@@ -1,0 +1,151 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// History mode: -history <dir> appends each run's File as a numbered,
+// timestamped snapshot (BENCH_1.json, BENCH_2.json, ...), and -trend
+// reads the whole directory back and prints how every benchmark's ns/op
+// and allocs/op moved across snapshots — a longitudinal view next to the
+// pairwise -baseline gate.
+
+// historyPat matches snapshot filenames and captures their sequence
+// number.
+var historyPat = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// listHistory returns the directory's snapshot paths in sequence order
+// along with the highest sequence number seen.
+func listHistory(dir string) (paths []string, maxSeq int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	type numbered struct {
+		seq  int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		m := historyPat.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		seq, err := strconv.Atoi(m[1])
+		if err != nil || seq <= 0 {
+			continue
+		}
+		found = append(found, numbered{seq, filepath.Join(dir, e.Name())})
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].seq < found[j].seq })
+	for _, n := range found {
+		paths = append(paths, n.path)
+	}
+	return paths, maxSeq, nil
+}
+
+// appendHistory stamps f with the current UTC time and writes it as the
+// directory's next BENCH_<n>.json snapshot, creating the directory if
+// needed. It returns the snapshot path.
+func appendHistory(dir string, f File) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	_, maxSeq, err := listHistory(dir)
+	if err != nil {
+		return "", err
+	}
+	f.Timestamp = time.Now().UTC().Format(time.RFC3339)
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", maxSeq+1))
+	if err := writeBenchFile(path, f); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// trendReport reads every snapshot in dir and renders, per benchmark, the
+// ns/op and allocs/op trajectory: first and latest values, the overall
+// delta, and the step-to-step delta of the newest snapshot. Benchmarks
+// absent from the latest snapshot are skipped (they carry no live signal).
+func trendReport(dir string) (string, error) {
+	paths, _, err := listHistory(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(paths) == 0 {
+		return "", fmt.Errorf("no BENCH_<n>.json snapshots in %s", dir)
+	}
+	files := make([]File, len(paths))
+	for i, p := range paths {
+		f, err := readBenchFile(p)
+		if err != nil {
+			return "", err
+		}
+		files[i] = f
+	}
+	latest := files[len(files)-1]
+
+	// Per-benchmark series in snapshot order; a benchmark may be missing
+	// from some snapshots (filters, new benchmarks).
+	type sample struct {
+		nsOp     float64
+		allocsOp int64
+	}
+	series := make(map[string][]sample)
+	for _, f := range files {
+		for _, r := range f.Benchmarks {
+			series[r.Name] = append(series[r.Name], sample{r.NsOp, r.AllocsOp})
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench history: %d snapshot(s) in %s", len(files), dir)
+	if first, last := files[0].Timestamp, latest.Timestamp; first != "" || last != "" {
+		fmt.Fprintf(&b, " (%s .. %s)", first, last)
+	}
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "%-24s %4s  %12s  %12s  %8s %8s  %10s %8s\n",
+		"benchmark", "runs", "first ns/op", "last ns/op", "Δtotal", "Δlast", "allocs/op", "Δallocs")
+	for _, r := range latest.Benchmarks {
+		s := series[r.Name]
+		if len(s) == 0 {
+			continue
+		}
+		first, last := s[0], s[len(s)-1]
+		total := pctDelta(first.nsOp, last.nsOp)
+		step := "-"
+		if len(s) >= 2 {
+			step = pctDelta(s[len(s)-2].nsOp, last.nsOp)
+		}
+		dAllocs := last.allocsOp - first.allocsOp
+		allocs := fmt.Sprintf("%d", last.allocsOp)
+		dAllocsStr := "="
+		if dAllocs != 0 {
+			dAllocsStr = fmt.Sprintf("%+d", dAllocs)
+		}
+		fmt.Fprintf(&b, "%-24s %4d  %12.0f  %12.0f  %8s %8s  %10s %8s\n",
+			r.Name, len(s), first.nsOp, last.nsOp, total, step, allocs, dAllocsStr)
+	}
+	return b.String(), nil
+}
+
+// pctDelta formats the relative change from a to b as a signed percent.
+func pctDelta(a, b float64) string {
+	if a <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(b-a)/a)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func snapshot(ns float64, allocs int64) File {
+	return File{
+		Schema:  benchSchema,
+		Version: benchVersion,
+		Benchmarks: []Result{
+			{Name: "BenchmarkSweep", Iterations: 100, NsOp: ns, AllocsOp: allocs},
+			{Name: "BenchmarkFaulted", Iterations: 50, NsOp: ns * 2, AllocsOp: 0},
+		},
+	}
+}
+
+func TestAppendHistorySequencesAndStamps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "hist") // appendHistory must create it
+	p1, err := appendHistory(dir, snapshot(1000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("first snapshot at %s", p1)
+	}
+	p2, err := appendHistory(dir, snapshot(1100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_2.json" {
+		t.Fatalf("second snapshot at %s", p2)
+	}
+	// Sequence continues from the highest existing number, holes and all.
+	if err := os.Remove(p1); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := appendHistory(dir, snapshot(1200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p3) != "BENCH_3.json" {
+		t.Fatalf("snapshot after a hole at %s", p3)
+	}
+	f, err := readBenchFile(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Timestamp == "" {
+		t.Fatal("snapshot not timestamped")
+	}
+	if _, err := time.Parse(time.RFC3339, f.Timestamp); err != nil {
+		t.Fatalf("timestamp %q: %v", f.Timestamp, err)
+	}
+}
+
+func TestListHistoryOrdersAndFilters(t *testing.T) {
+	dir := t.TempDir()
+	// Write out of order, with a double-digit sequence and decoys.
+	for _, name := range []string{"BENCH_10.json", "BENCH_2.json", "BENCH_1.json",
+		"BENCH.json", "BENCH_x.json", "notes.txt"} {
+		if err := writeBenchFile(filepath.Join(dir, name), snapshot(1, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, maxSeq, err := listHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeq != 10 {
+		t.Fatalf("maxSeq = %d", maxSeq)
+	}
+	var names []string
+	for _, p := range paths {
+		names = append(names, filepath.Base(p))
+	}
+	want := "BENCH_1.json BENCH_2.json BENCH_10.json"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("order: %s", got)
+	}
+}
+
+func TestTrendReport(t *testing.T) {
+	dir := t.TempDir()
+	for _, f := range []File{snapshot(1000, 3), snapshot(1500, 3), snapshot(1200, 5)} {
+		if _, err := appendHistory(dir, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := trendReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 snapshot(s)") {
+		t.Fatalf("report header:\n%s", out)
+	}
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "BenchmarkSweep") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("BenchmarkSweep row missing:\n%s", out)
+	}
+	// 1000 -> 1200 overall (+20%), 1500 -> 1200 last step (-20%), allocs 3 -> 5.
+	for _, want := range []string{"+20.0%", "-20.0%", "+2"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("row missing %q: %s", want, line)
+		}
+	}
+	// The unchanged-allocs benchmark renders "=".
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "BenchmarkFaulted") && !strings.Contains(l, "=") {
+			t.Fatalf("unchanged allocs not marked: %s", l)
+		}
+	}
+}
+
+func TestTrendReportEmpty(t *testing.T) {
+	if _, err := trendReport(t.TempDir()); err == nil {
+		t.Fatal("empty history accepted")
+	}
+}

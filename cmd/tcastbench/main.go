@@ -20,6 +20,11 @@
 //
 //	tcastbench -diff a.jsonl b.jsonl          # first divergent span, exit 1 if any
 //	tcastbench -analyze t.jsonl               # per-phase virtual-time breakdown
+//
+// History mode keeps per-run snapshots and reads the trend across them:
+//
+//	tcastbench -short -history bench-history/   # run, then append BENCH_<n>.json
+//	tcastbench -trend -history bench-history/   # print ns/op + allocs/op deltas
 package main
 
 import (
@@ -39,6 +44,8 @@ import (
 	"tcast/internal/experiment"
 	"tcast/internal/fastsim"
 	"tcast/internal/faults"
+	"tcast/internal/metrics"
+	"tcast/internal/obs"
 	"tcast/internal/pollcast"
 	"tcast/internal/query"
 	"tcast/internal/radio"
@@ -81,8 +88,11 @@ type Result struct {
 
 // File is the whole BENCH.json document.
 type File struct {
-	Schema     string   `json:"schema"`
-	Version    int      `json:"version"`
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	// Timestamp (RFC 3339, UTC) is stamped on history snapshots so -trend
+	// can order and label them; plain BENCH.json files omit it.
+	Timestamp  string   `json:"timestamp,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -115,7 +125,12 @@ func main() {
 		diffMode    = flag.Bool("diff", false, "diff two span-trace JSONL files (args: a.jsonl b.jsonl); exit 1 on divergence")
 		analyze     = flag.String("analyze", "", "print the per-phase virtual-time breakdown of this span-trace JSONL file")
 		faultSpec   = flag.String("faults", defaultFaultSpec, "fault-injection spec for the query-2tbins-faulted benchmark")
+		historyDir  = flag.String("history", "", "append this run's results as a timestamped BENCH_<n>.json snapshot in this directory")
+		trend       = flag.Bool("trend", false, "print per-benchmark ns/op and allocs/op deltas across the -history snapshots instead of running")
+		pprofDir    = flag.String("pprof", "", "write cpu/heap/goroutine/mutex/block profiles of the benchmark run into this directory")
 	)
+	var obsCfg obs.Config
+	obsCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	switch {
@@ -140,6 +155,32 @@ func main() {
 			fmt.Printf("%s%s\n", b.name, marker)
 		}
 		return
+	case *trend:
+		if *historyDir == "" {
+			fatal(fmt.Errorf("-trend needs -history <dir>"))
+		}
+		report, err := trendReport(*historyDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+		return
+	}
+
+	plane, err := obsCfg.Build(os.Stderr, nil, false)
+	if err != nil {
+		fatal(err)
+	}
+	if *pprofDir != "" {
+		stop, err := metrics.StartProfiles(*pprofDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "tcastbench: pprof:", err)
+			}
+		}()
 	}
 
 	var current File
@@ -150,9 +191,16 @@ func main() {
 		}
 		current = f
 	} else {
-		current = runBenches(*short, *run, *faultSpec)
+		current = runBenches(*short, *run, *faultSpec, plane.Bus())
 		if err := writeBenchFile(*out, current); err != nil {
 			fatal(err)
+		}
+		if *historyDir != "" {
+			path, err := appendHistory(*historyDir, current)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("appended history snapshot", path)
 		}
 	}
 
@@ -167,10 +215,16 @@ func main() {
 		}
 		fmt.Println("no regressions beyond threshold")
 	}
+	if err := plane.Close(); err != nil {
+		fatal(err)
+	}
 }
 
-// runBenches executes the selected benchmarks and collects results.
-func runBenches(short bool, filter, faultSpec string) File {
+// runBenches executes the selected benchmarks and collects results. Each
+// result is also published on bus (when non-nil) as a KindBench event —
+// the benchmark body itself always runs bare, so the published numbers
+// are the same a silent run produces.
+func runBenches(short bool, filter, faultSpec string, bus *obs.Bus) File {
 	f := File{Schema: benchSchema, Version: benchVersion}
 	for _, b := range benches(faultSpec) {
 		if short && !b.short {
@@ -179,7 +233,8 @@ func runBenches(short bool, filter, faultSpec string) File {
 		if filter != "" && !strings.Contains(b.name, filter) {
 			continue
 		}
-		res := testing.Benchmark(b.fn)
+		var res testing.BenchmarkResult
+		obs.WithPhase(b.name, func() { res = testing.Benchmark(b.fn) })
 		r := Result{
 			Name:       b.name,
 			Iterations: res.N,
@@ -206,6 +261,15 @@ func runBenches(short bool, filter, faultSpec string) File {
 			r.Name, r.NsOp, r.AllocsOp, r.PollsPerSec, r.VirtualSlotsPerSec)
 		if r.TrialsPerSec > 0 {
 			line += fmt.Sprintf(" %10.0f trials/s", r.TrialsPerSec)
+		}
+		if bus != nil {
+			bus.Publish(obs.Event{
+				Kind: obs.KindBench, Outcome: r.Name,
+				Trial: -1, Poll: -1, CausalPoll: -1,
+				Polls: int(r.NsOp), Slots: r.AllocsOp,
+				Detail: fmt.Sprintf("%d iterations, %.0f ns/op, %d allocs/op, %.0f polls/s, %.0f vslots/s",
+					r.Iterations, r.NsOp, r.AllocsOp, r.PollsPerSec, r.VirtualSlotsPerSec),
+			})
 		}
 		fmt.Println(line)
 	}

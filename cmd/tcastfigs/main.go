@@ -15,8 +15,16 @@
 //	tcastfigs -fig fig1 -metrics -            # dump metrics to stdout after the run
 //	tcastfigs -fig all -metrics m.prom        # Prometheus text format (by extension)
 //	tcastfigs -fig all -metrics-addr :9090    # scrapeable /metrics endpoint during the run
-//	tcastfigs -fig all -pprof profiles/       # CPU + heap profiles of the run
+//	tcastfigs -fig all -pprof profiles/       # CPU/heap/goroutine/mutex/block profiles
 //	tcastfigs -fig all -audit                 # grade every session against ground truth
+//
+// Live observability plane (see EXPERIMENTS.md):
+//
+//	tcastfigs -fig fig1 -log                          # stream events to stderr
+//	tcastfigs -fig all -log-json -log-level debug     # per-poll JSON event stream
+//	tcastfigs -fig tab-acc -audit -flight dumps/      # flight-recorder dumps on anomaly
+//	tcastfigs -fig all -slo maxpolls=96,minacc=0.99   # SLO health rules
+//	tcastfigs -fig all -metrics-addr :9090            # + /healthz /slo /events (SSE)
 package main
 
 import (
@@ -31,7 +39,9 @@ import (
 	"tcast/internal/experiment"
 	"tcast/internal/faults"
 	"tcast/internal/metrics"
+	"tcast/internal/obs"
 	"tcast/internal/query"
+	"tcast/internal/stats"
 	"tcast/internal/trace"
 )
 
@@ -54,9 +64,11 @@ func main() {
 		backoff     = flag.Int("backoff", 0, "idle slots before each retry")
 		traceOut    = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the run to this file")
 		metricsOut  = flag.String("metrics", "", "dump run metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
-		metricsAddr = flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address during the run")
-		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the run into this directory")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /slo and /events (SSE) on this address during the run")
+		pprofDir    = flag.String("pprof", "", "write cpu/heap/goroutine/mutex/block profiles for the run into this directory")
 	)
+	var obsCfg obs.Config
+	obsCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -67,11 +79,21 @@ func main() {
 	}
 
 	var reg *metrics.Registry
-	if *metricsOut != "" || *metricsAddr != "" {
+	if *metricsOut != "" || *metricsAddr != "" || obsCfg.Enabled() {
 		reg = metrics.New()
 	}
+	// The /events and /slo endpoints need a bus even when no local sink is
+	// configured, so a live -metrics-addr forces the plane on.
+	plane, err := obsCfg.Build(os.Stderr, reg, *metricsAddr != "")
+	if err != nil {
+		fatal(err)
+	}
 	if *metricsAddr != "" {
-		metrics.Serve(*metricsAddr, reg)
+		obs.Serve(*metricsAddr, reg, plane.SLO(), plane.Bus())
+		// Runtime attribution (goroutines, heap, GC) is sampled only while
+		// live-serving, so file-dumped registries stay wall-clock-free.
+		stopSampler := obs.StartRuntimeSampler(reg, 0)
+		defer stopSampler()
 	}
 	if *pprofDir != "" {
 		stop, err := metrics.StartProfiles(*pprofDir)
@@ -116,7 +138,7 @@ func main() {
 
 	opts := experiment.Options{
 		Runs: *runs, Seed: *seed, Workers: *workers,
-		Metrics: reg, Trace: builder, Audit: col,
+		Metrics: reg, Trace: builder, Audit: col, Obs: plane.Bus(),
 		Retry: query.RetryPolicy{MaxRetries: *retries, Backoff: *backoff},
 	}
 	if *faultsSpec != "" {
@@ -132,7 +154,10 @@ func main() {
 			sp := builder.Begin(trace.KindExperiment, e.ID)
 			sp.SetAttr(trace.StringAttr("title", e.Title))
 		}
-		tab, err := e.Run(opts)
+		var tab *stats.Table
+		// Label the experiment's CPU samples (phase=<id>) so profiles
+		// attribute time per experiment via -tag_focus.
+		obs.WithPhase(e.ID, func() { tab, err = e.Run(opts) })
 		if builder != nil {
 			builder.End()
 		}
@@ -189,6 +214,12 @@ func main() {
 		if err := trace.WriteFile(*traceOut, builder.Trace()); err != nil {
 			fatal(err)
 		}
+	}
+	if s := plane.Summary(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+	}
+	if err := plane.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"tcast/internal/audit"
 	"tcast/internal/metrics"
 	"tcast/internal/motelab"
+	"tcast/internal/obs"
 	"tcast/internal/trace"
 )
 
@@ -33,13 +34,19 @@ func main() {
 		doAudit    = flag.Bool("audit", false, "grade every emulated session by replay against the configured truth and print the audit summary")
 		traceOut   = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the campaign to this file")
 		metricsOut = flag.String("metrics", "", "dump campaign metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
-		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the campaign into this directory")
+		pprofDir   = flag.String("pprof", "", "write cpu/heap/goroutine/mutex/block profiles for the campaign into this directory")
 	)
+	var obsCfg obs.Config
+	obsCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	var reg *metrics.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || obsCfg.Enabled() {
 		reg = metrics.New()
+	}
+	plane, err := obsCfg.Build(os.Stderr, reg, false)
+	if err != nil {
+		fatal(err)
 	}
 	if *pprofDir != "" {
 		stop, err := metrics.StartProfiles(*pprofDir)
@@ -71,7 +78,7 @@ func main() {
 		col = &audit.Collector{}
 	}
 
-	cfg := motelab.Config{Participants: *participants, MissProb: *miss, Seed: *seed, Metrics: reg, Trace: builder, Audit: col}
+	cfg := motelab.Config{Participants: *participants, MissProb: *miss, Seed: *seed, Metrics: reg, Trace: builder, Audit: col, Obs: plane.Bus()}
 	if *badMote >= 0 {
 		if *badMote >= *participants {
 			fatal(fmt.Errorf("badmote %d outside 0..%d", *badMote, *participants-1))
@@ -146,6 +153,12 @@ func main() {
 		if err := metrics.DumpToPath(reg, *metricsOut); err != nil {
 			fatal(err)
 		}
+	}
+	if s := plane.Summary(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+	}
+	if err := plane.Close(); err != nil {
+		fatal(err)
 	}
 }
 

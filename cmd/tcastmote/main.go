@@ -25,6 +25,7 @@ import (
 	"tcast/internal/faults"
 	"tcast/internal/metrics"
 	"tcast/internal/mote"
+	"tcast/internal/obs"
 	"tcast/internal/radio"
 	"tcast/internal/rng"
 	"tcast/internal/serial"
@@ -47,8 +48,10 @@ func main() {
 		doAudit    = flag.Bool("audit", false, "controller mode: grade each decision against the configured -x truth (the wire protocol carries no polls, so wrong decisions stay unattributed)")
 		traceOut   = flag.String("trace", "", "controller mode: write a structured span trace (JSONL, virtual time) of the runs to this file")
 		metricsOut = flag.String("metrics", "", "controller mode: dump session metrics to this file at exit ('-' = stdout, .prom = Prometheus format)")
-		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
+		pprofDir   = flag.String("pprof", "", "write cpu/heap/goroutine/mutex/block profiles into this directory")
 	)
+	var obsCfg obs.Config
+	obsCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *pprofDir != "" {
@@ -78,7 +81,7 @@ func main() {
 			v := *x >= *threshold
 			truth = &v
 		}
-		if err := runController(*connect, *threshold, *runs, *timeout, *metricsOut, *traceOut, truth); err != nil {
+		if err := runController(*connect, *threshold, *runs, *timeout, *metricsOut, *traceOut, truth, obsCfg); err != nil {
 			fatal(err)
 		}
 	default:
@@ -148,7 +151,7 @@ func runServer(addr string, participants int, miss float64, x int, seed uint64, 
 // A positive timeout bounds every wire round trip: a mote that stops
 // replying fails the run (voided in the audit accounting) instead of
 // hanging the controller forever.
-func runController(addr string, threshold, runs int, timeout time.Duration, metricsOut, traceOut string, truth *bool) error {
+func runController(addr string, threshold, runs int, timeout time.Duration, metricsOut, traceOut string, truth *bool, obsCfg obs.Config) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -158,9 +161,14 @@ func runController(addr string, threshold, runs int, timeout time.Duration, metr
 	c.Timeout = timeout
 
 	var reg *metrics.Registry
-	if metricsOut != "" {
+	if metricsOut != "" || obsCfg.Enabled() {
 		reg = metrics.New()
 	}
+	plane, err := obsCfg.Build(os.Stderr, reg, false)
+	if err != nil {
+		return err
+	}
+	bus := plane.Bus()
 	var builder *trace.Builder
 	if traceOut != "" {
 		builder = trace.NewBuilder()
@@ -180,6 +188,7 @@ func runController(addr string, threshold, runs int, timeout time.Duration, metr
 	}
 	trueCount, totalQueries := 0, 0
 	for i := 0; i < runs; i++ {
+		obs.PublishSessionStart(bus, fmt.Sprintf("run=%d", i+1), i)
 		decision, queries, rounds, err := c.Query()
 		if err != nil {
 			if col != nil {
@@ -217,6 +226,22 @@ func runController(addr string, threshold, runs int, timeout time.Duration, metr
 		if col != nil {
 			col.AddDecision(fmt.Sprintf("run=%d", i+1), decision, *truth)
 		}
+		if bus != nil {
+			label := fmt.Sprintf("run=%d", i+1)
+			if truth != nil {
+				// The wire protocol carries no polls, so a wrong decision's
+				// anomaly stays unattributed (no causal poll to name).
+				obs.PublishDecision(bus, label, i, decision, *truth, queries, 3*int64(queries))
+			} else {
+				// No configured truth to grade against; publish the session
+				// close ungraded (neutral for min-accuracy SLO rules).
+				bus.Publish(obs.Event{
+					Kind: obs.KindSessionVerdict, Session: label, Trial: i, Poll: -1,
+					Outcome: "ungraded", Correct: true,
+					Polls: queries, Slots: 3 * int64(queries), CausalPoll: -1,
+				})
+			}
+		}
 		fmt.Printf("run %2d: decision=%-5v queries=%-3d rounds=%d\n", i+1, decision, queries, rounds)
 	}
 	fmt.Printf("\n%d/%d runs answered true (t=%d); %.1f queries per run\n",
@@ -230,9 +255,14 @@ func runController(addr string, threshold, runs int, timeout time.Duration, metr
 		}
 	}
 	if metricsOut != "" {
-		return metrics.DumpToPath(reg, metricsOut)
+		if err := metrics.DumpToPath(reg, metricsOut); err != nil {
+			return err
+		}
 	}
-	return nil
+	if s := plane.Summary(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+	}
+	return plane.Close()
 }
 
 func fatal(err error) {

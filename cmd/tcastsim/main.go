@@ -25,6 +25,7 @@ import (
 	"tcast/internal/fastsim"
 	"tcast/internal/faults"
 	"tcast/internal/metrics"
+	"tcast/internal/obs"
 	"tcast/internal/query"
 	"tcast/internal/rng"
 	"tcast/internal/stats"
@@ -51,16 +52,22 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the whole sweep to this file")
 		metricsOut = flag.String("metrics", "", "dump per-poll metrics to this file after the sweep ('-' = stdout, .prom = Prometheus format)")
-		pprofDir   = flag.String("pprof", "", "write cpu.pprof and heap.pprof for the sweep into this directory")
+		pprofDir   = flag.String("pprof", "", "write cpu/heap/goroutine/mutex/block profiles for the sweep into this directory")
 	)
+	var obsCfg obs.Config
+	obsCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *x < 0 || *x > *n {
 		fatal(fmt.Errorf("x=%d outside [0,%d]", *x, *n))
 	}
 
 	var reg *metrics.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || obsCfg.Enabled() {
 		reg = metrics.New()
+	}
+	plane, err := obsCfg.Build(os.Stderr, reg, false)
+	if err != nil {
+		fatal(err)
 	}
 	if *pprofDir != "" {
 		stop, err := metrics.StartProfiles(*pprofDir)
@@ -104,7 +111,7 @@ func main() {
 		fatal(err)
 	}
 	retry := query.RetryPolicy{MaxRetries: *retries, Backoff: *backoff}
-	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, fcfg, retry, reg, builder, col)
+	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, fcfg, retry, reg, builder, col, plane.Bus())
 	if err != nil {
 		fatal(err)
 	}
@@ -155,6 +162,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	if s := plane.Summary(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+	}
+	if err := plane.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 // buildTrial returns a per-trial cost function for the selected scheme.
@@ -168,14 +181,17 @@ func main() {
 // stacks the injector above the channel (CSMA honors the burst process
 // through its drop hook; sequential polling has no contention to fault);
 // an active retry policy re-polls silent bins within the priced budget.
-func buildTrial(alg string, n, t, x int, cfg fastsim.Config, fcfg faults.Config, retry query.RetryPolicy, reg *metrics.Registry, b *trace.Builder, col *audit.Collector) (func(i int, r *rng.Source) (float64, error), string, error) {
+func buildTrial(alg string, n, t, x int, cfg fastsim.Config, fcfg faults.Config, retry query.RetryPolicy, reg *metrics.Registry, b *trace.Builder, col *audit.Collector, bus *obs.Bus) (func(i int, r *rng.Source) (float64, error), string, error) {
 	baselineTrial := func(scheme string, run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(i int, r *rng.Source) (float64, error) {
 		return func(trialN int, r *rng.Source) (float64, error) {
 			pos := bitset.New(n)
 			for _, id := range r.Split(1).Sample(n, x) {
 				pos.Add(id)
 			}
+			label := fmt.Sprintf("%s/trial=%d", scheme, trialN)
+			obs.PublishSessionStart(bus, label, trialN)
 			res := run(n, t, pos, r.Split(2))
+			obs.PublishDecision(bus, label, trialN, res.Decision, x >= t, 0, int64(res.Slots))
 			if b != nil {
 				f := b.Fork(trialN)
 				sp := f.Begin(trace.KindTrial, "trial "+strconv.Itoa(trialN))
@@ -239,6 +255,7 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, fcfg faults.Config,
 		}
 		sub = query.WithRetry(sub, retry)
 		q := metrics.Wrap(sub, reg)
+		label := fmt.Sprintf("%s/trial=%d", name, trialN)
 		var aud *audit.Auditor
 		if col != nil {
 			var err error
@@ -258,13 +275,22 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, fcfg faults.Config,
 				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
 			q = sq
 		}
+		if bus != nil {
+			q = obs.NewPublisher(q, bus, label, trialN)
+			obs.PublishSessionStart(bus, label, trialN)
+		}
 		res, err := a.Run(q, n, t, r.Split(2))
 		if aud != nil {
 			if err == nil {
 				// Finish before EndSession so the verdict annotates the span.
-				col.AddAt(trialN, fmt.Sprintf("%s/trial=%d", name, trialN), aud.Finish(res.Decision))
+				v := aud.Finish(res.Decision)
+				col.AddAt(trialN, label, v)
+				if bus != nil {
+					obs.PublishChainEvents(bus, label, trialN, q)
+					obs.PublishVerdict(bus, label, trialN, v, obs.ChainSlots(q, v.Polls), q)
+				}
 			} else {
-				col.Void(fmt.Sprintf("%s/trial=%d", name, trialN))
+				col.Void(label)
 			}
 		}
 		if sq != nil {
@@ -282,6 +308,11 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, fcfg faults.Config,
 			return 0, err
 		}
 		metrics.FinishSession(q)
+		if bus != nil && aud == nil {
+			obs.PublishChainEvents(bus, label, trialN, q)
+			obs.PublishDecision(bus, label, trialN, res.Decision, x >= t, res.Queries,
+				obs.ChainSlots(q, res.Queries))
+		}
 		return float64(res.Queries), nil
 	}, name, nil
 }

@@ -6,6 +6,7 @@ import (
 	"tcast/internal/audit"
 	"tcast/internal/core"
 	"tcast/internal/metrics"
+	"tcast/internal/obs"
 	"tcast/internal/pollcast"
 	"tcast/internal/query"
 	"tcast/internal/radio"
@@ -60,6 +61,10 @@ func accuracyPoint(missPct int, o Options, root *rng.Source) (*audit.Collector, 
 		}
 		q = aud
 		label := fmt.Sprintf("2tBins/backcast/miss=%d%%/trial=%d", missPct, trial)
+		if o.Obs != nil {
+			q = obs.NewPublisher(q, o.Obs, label, trial)
+			obs.PublishSessionStart(o.Obs, label, trial)
+		}
 		res, err := (core.TwoTBins{}).Run(q, accN, accT, r.Split(3))
 		if err != nil {
 			// Polls were graded live but the session never reached a
@@ -75,6 +80,10 @@ func accuracyPoint(missPct int, o Options, root *rng.Source) (*audit.Collector, 
 		col.AddAt(trial, label, v)
 		if o.Audit != nil {
 			o.Audit.AddAt(trial, label, v)
+		}
+		if o.Obs != nil {
+			obs.PublishChainEvents(o.Obs, label, trial, q)
+			obs.PublishVerdict(o.Obs, label, trial, v, obs.ChainSlots(q, v.Polls), q)
 		}
 		if v.Correct() {
 			return 1, nil

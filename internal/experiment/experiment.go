@@ -19,6 +19,7 @@ import (
 	"tcast/internal/fastsim"
 	"tcast/internal/faults"
 	"tcast/internal/metrics"
+	"tcast/internal/obs"
 	"tcast/internal/query"
 	"tcast/internal/rng"
 	"tcast/internal/stats"
@@ -84,6 +85,18 @@ type Options struct {
 	// the substrate and injector in every trial; the zero policy adds no
 	// wrapper. Retries and backoff waits are priced in virtual slots.
 	Retry query.RetryPolicy
+	// Obs, when non-nil, streams structured events onto the bus: one
+	// session-start and one verdict event per trial, one poll event per
+	// group poll (obs.Publisher, stacked outermost so every layer below
+	// is already applied), injected-fault and retry-exhaustion events
+	// drained from the chain, and anomaly events for invariant
+	// violations and wrong verdicts. Trials publish from worker
+	// goroutines, so the live stream is scheduling-ordered — sinks that
+	// need determinism key on the session label and trial index carried
+	// by every event. Publishing consumes no randomness and the wrapper
+	// is interposed only when the bus is non-nil, so published runs stay
+	// byte-identical to bare ones and the bare hot path allocation-free.
+	Obs *obs.Bus
 }
 
 // faulted reports whether fault injection is configured AND can fire.
@@ -302,8 +315,10 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 		q := metrics.Wrap(o.wrapFaults(ch, n, r), o.Metrics)
 		var aud *audit.Auditor
 		var label string
-		if o.Audit != nil {
+		if o.Audit != nil || o.Obs != nil {
 			label = fmt.Sprintf("%s/n=%d/t=%d/x=%d/trial=%d", alg.Name(), n, t, x, trial)
+		}
+		if o.Audit != nil {
 			var err error
 			aud, err = audit.New(q, audit.Config{N: n, T: t, Metrics: o.Metrics})
 			if err != nil {
@@ -323,13 +338,24 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
 			q = sq
 		}
+		if o.Obs != nil {
+			// Outermost, so the published poll stream counts exactly the
+			// algorithm-visible polls every layer below has already seen.
+			q = obs.NewPublisher(q, o.Obs, label, trial)
+			obs.PublishSessionStart(o.Obs, label, trial)
+		}
 		r.SplitInto(2, &st.algr)
 		res, err := core.RunIn(&st.arena, alg, q, n, t, &st.algr)
 		if aud != nil {
 			if err == nil {
 				// Finish before EndSession so the verdict annotates the
 				// closing session span.
-				o.Audit.AddAt(trial, label, aud.Finish(res.Decision))
+				v := aud.Finish(res.Decision)
+				o.Audit.AddAt(trial, label, v)
+				if o.Obs != nil {
+					obs.PublishChainEvents(o.Obs, label, trial, q)
+					obs.PublishVerdict(o.Obs, label, trial, v, obs.ChainSlots(q, v.Polls), q)
+				}
 			} else {
 				// The session started (its polls were graded live) but never
 				// reached a decision; void it so the collector's session
@@ -352,6 +378,13 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 			return 0, err
 		}
 		metrics.FinishSession(q)
+		if o.Obs != nil && aud == nil {
+			// Unaudited sessions still close on the bus, graded against the
+			// configured truth x >= t (no causal attribution without audit).
+			obs.PublishChainEvents(o.Obs, label, trial, q)
+			obs.PublishDecision(o.Obs, label, trial, res.Decision, x >= t, res.Queries,
+				obs.ChainSlots(q, res.Queries))
+		}
 		if res.Decision != (x >= t) && !o.faulted() {
 			// A wrong decision on a well-behaved substrate is a harness
 			// bug; under active fault injection it is the expected

@@ -9,6 +9,7 @@ import (
 	"tcast/internal/core"
 	"tcast/internal/faults"
 	"tcast/internal/metrics"
+	"tcast/internal/obs"
 	"tcast/internal/pollcast"
 	"tcast/internal/query"
 	"tcast/internal/radio"
@@ -91,6 +92,10 @@ func faultedPoint(prefix string, cfg faults.Config, retry query.RetryPolicy, col
 		}
 		q = aud
 		label := fmt.Sprintf("%s/trial=%d", prefix, trial)
+		if o.Obs != nil {
+			q = obs.NewPublisher(q, o.Obs, label, trial)
+			obs.PublishSessionStart(o.Obs, label, trial)
+		}
 		res, err := (core.TwoTBins{}).Run(q, extN, extT, r.Split(3))
 		if err != nil {
 			col.Void(label)
@@ -117,6 +122,10 @@ func faultedPoint(prefix string, cfg faults.Config, retry query.RetryPolicy, col
 		col.AddAt(trial, label, v)
 		if o.Audit != nil {
 			o.Audit.AddAt(trial, label, v)
+		}
+		if o.Obs != nil {
+			obs.PublishChainEvents(o.Obs, label, trial, q)
+			obs.PublishVerdict(o.Obs, label, trial, v, obs.ChainSlots(q, v.Polls), q)
 		}
 		if v.Correct() {
 			return 1, nil

@@ -157,6 +157,16 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// TextHandler serves the registry's human-readable text dump (the
+// WriteText format) — the obs plane mounts it at /metrics/text next to
+// the Prometheus endpoint.
+func TextHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteText(w, r.Snapshot())
+	})
+}
+
 // Serve exposes the registry's Prometheus endpoint at addr/metrics in a
 // background goroutine, returning the listener error channel. Intended for
 // the cmd tools' -metrics-addr flag.

@@ -8,10 +8,31 @@ import (
 	"runtime/pprof"
 )
 
-// StartProfiles begins a CPU profile and returns a stop function that
-// finishes it and additionally writes a heap profile. Profiles land in dir
-// (created if needed) as cpu.pprof and heap.pprof — the -pprof flag of the
-// cmd tools. Inspect with `go tool pprof <binary> <dir>/cpu.pprof`.
+// Sampling rates the profiler runs at while active. Mutex and block
+// profiling are off by default in the runtime; StartProfiles switches
+// them on for the profiled window and restores the previous settings at
+// stop, so profiling a run never leaks collection overhead past it.
+const (
+	// mutexProfileFraction samples 1/N of mutex contention events.
+	mutexProfileFraction = 5
+	// blockProfileRate records every blocking event at nanosecond
+	// resolution (the rate is the threshold in ns).
+	blockProfileRate = 1
+)
+
+// StartProfiles begins a CPU profile (with mutex and block collection
+// armed) and returns a stop function that finishes it and writes the
+// remaining profiles. Profiles land in dir (created if needed) — the
+// -pprof flag of the cmd tools:
+//
+//	cpu.pprof        wall-clock CPU samples (with any pprof labels, e.g.
+//	                 the obs plane's phase=<experiment> tags)
+//	heap.pprof       live-heap allocations after a forced GC
+//	goroutine.pprof  every goroutine's stack at stop
+//	mutex.pprof      lock-contention delay (sampled 1/5)
+//	block.pprof      blocking events (channels, selects, locks)
+//
+// Inspect with `go tool pprof <binary> <dir>/cpu.pprof`.
 func StartProfiles(dir string) (stop func() error, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -24,20 +45,41 @@ func StartProfiles(dir string) (stop func() error, err error) {
 		cpu.Close()
 		return nil, fmt.Errorf("metrics: start cpu profile: %w", err)
 	}
+	prevMutex := runtime.SetMutexProfileFraction(mutexProfileFraction)
+	runtime.SetBlockProfileRate(blockProfileRate)
 	return func() error {
 		pprof.StopCPUProfile()
+		// Restore the runtime's previous sampling before writing, so the
+		// written profiles cover exactly the profiled window.
+		runtime.SetMutexProfileFraction(prevMutex)
+		runtime.SetBlockProfileRate(0)
 		if err := cpu.Close(); err != nil {
 			return err
 		}
-		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
-		if err != nil {
-			return err
-		}
-		defer heap.Close()
 		runtime.GC() // get up-to-date allocation statistics
-		if err := pprof.WriteHeapProfile(heap); err != nil {
-			return fmt.Errorf("metrics: write heap profile: %w", err)
+		for _, p := range []string{"heap", "goroutine", "mutex", "block"} {
+			if err := writeLookupProfile(dir, p); err != nil {
+				return err
+			}
 		}
-		return heap.Close()
+		return nil
 	}, nil
+}
+
+// writeLookupProfile dumps one of the runtime's named profiles to
+// dir/<name>.pprof.
+func writeLookupProfile(dir, name string) error {
+	prof := pprof.Lookup(name)
+	if prof == nil {
+		return fmt.Errorf("metrics: unknown profile %q", name)
+	}
+	f, err := os.Create(filepath.Join(dir, name+".pprof"))
+	if err != nil {
+		return err
+	}
+	if err := prof.WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics: write %s profile: %w", name, err)
+	}
+	return f.Close()
 }

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStartProfilesWritesAll(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prof") // exercises MkdirAll
+	stop, err := StartProfiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a little contention so the mutex/block profiles are armed
+	// against real events (content is best-effort; existence is the check).
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				mu.Lock()
+				mu.Unlock() //nolint:staticcheck
+			}
+		}()
+	}
+	wg.Wait()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu", "heap", "goroutine", "mutex", "block"} {
+		fi, err := os.Stat(filepath.Join(dir, name+".pprof"))
+		if err != nil {
+			t.Fatalf("%s profile: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s profile is empty", name)
+		}
+	}
+	// Rates restored: mutex fraction back to its pre-profiling value.
+	if got := runtime.SetMutexProfileFraction(-1); got != 0 {
+		t.Fatalf("mutex profile fraction left at %d after stop", got)
+	}
+}
+
+func TestStartProfilesErrors(t *testing.T) {
+	// Target directory path collides with an existing file.
+	blocked := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocked, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartProfiles(blocked); err == nil {
+		t.Fatal("profiling into a file path accepted")
+	}
+
+	// A second concurrent CPU profile must fail cleanly and leave the
+	// first running.
+	dir := t.TempDir()
+	stop, err := StartProfiles(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartProfiles(filepath.Join(dir, "b")); err == nil {
+		t.Fatal("second concurrent cpu profile accepted")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteLookupProfileUnknown(t *testing.T) {
+	if err := writeLookupProfile(t.TempDir(), "nope"); err == nil {
+		t.Fatal("unknown profile name accepted")
+	}
+}
+
+func TestTextHandler(t *testing.T) {
+	r := New()
+	r.Counter("polls_total", "kind", "empty").Add(7)
+	r.Gauge("x_hat").Set(3.5)
+	rec := httptest.NewRecorder()
+	TextHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics/text", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`polls_total{kind="empty"} 7`, "x_hat 3.5"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestPrometheusEscapingRoundTrip(t *testing.T) {
+	// Label values with quotes, backslashes and newlines must survive
+	// Name's folding and come back intact from the exposition line.
+	raw := "weird \"value\" with \\ and \nnewline"
+	r := New()
+	r.Counter("escapes_total", "detail", raw).Add(1)
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var series string
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, "escapes_total{") {
+			series = line
+		}
+	}
+	if series == "" {
+		t.Fatalf("series missing:\n%s", rec.Body.String())
+	}
+	// One physical line: the newline in the value must be escaped, not raw.
+	open := strings.Index(series, `detail=`)
+	closeQ := strings.LastIndex(series, `"}`)
+	if open < 0 || closeQ < open {
+		t.Fatalf("cannot locate label in %q", series)
+	}
+	quoted := series[open+len("detail=") : closeQ+1]
+	back, err := strconv.Unquote(quoted)
+	if err != nil {
+		t.Fatalf("unquote %q: %v", quoted, err)
+	}
+	if back != raw {
+		t.Fatalf("round trip: %q != %q", back, raw)
+	}
+}

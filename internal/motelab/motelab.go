@@ -17,6 +17,7 @@ import (
 	"tcast/internal/core"
 	"tcast/internal/metrics"
 	"tcast/internal/mote"
+	"tcast/internal/obs"
 	"tcast/internal/query"
 	"tcast/internal/radio"
 	"tcast/internal/rng"
@@ -60,6 +61,13 @@ type Config struct {
 	// initiator's trace), attributing each wrong decision to its first
 	// causal poll.
 	Audit *audit.Collector
+	// Obs, when non-nil, streams each run onto the bus: session start,
+	// one poll event per group query (replayed from the initiator's
+	// trace), and a graded verdict — wrong decisions raise anomaly
+	// events carrying the causal poll, which trip a subscribed flight
+	// recorder. The lab runs sequentially, so the stream order depends
+	// only on the seed.
+	Obs *obs.Bus
 }
 
 // DefaultConfig returns the paper's testbed shape.
@@ -281,7 +289,7 @@ func (l *Lab) RunBatch(threshold, x, repeats int) (Stats, error) {
 			b.End() // session
 			b.End() // trial
 		}
-		if c := l.cfg.Audit; c != nil {
+		if l.cfg.Audit != nil || l.cfg.Obs != nil {
 			// Grade the run from the initiator's poll record. Backcast
 			// responses are binary (Empty/Active), so the 1+ traits apply
 			// regardless of the firmware's radio.
@@ -295,8 +303,24 @@ func (l *Lab) RunBatch(threshold, x, repeats int) (Stats, error) {
 			}
 			truth := audit.TruthFunc(func(id int) bool { return positive[id] })
 			label := fmt.Sprintf("motelab/%s/t=%d/x=%d/rep=%d", l.algName(), threshold, x, rep)
-			c.Add(label, audit.GradeReplay(threshold, x, truth,
-				query.Traits{Model: query.OnePlus}, polls, outcome.Decision))
+			v := audit.GradeReplay(threshold, x, truth,
+				query.Traits{Model: query.OnePlus}, polls, outcome.Decision)
+			if c := l.cfg.Audit; c != nil {
+				c.Add(label, v)
+			}
+			if bus := l.cfg.Obs; bus != nil {
+				obs.PublishSessionStart(bus, label, rep)
+				for i, p := range polls {
+					bus.Publish(obs.Event{
+						Kind: obs.KindPoll, Session: label, Trial: rep,
+						Poll: i, Bin: len(p.Bin), Outcome: p.Resp.Kind.String(),
+						CausalPoll: -1,
+					})
+				}
+				// Backcast charges 3 RCD slots per group query; there is no
+				// querier chain to walk on the replay path.
+				obs.PublishVerdict(bus, label, rep, v, int64(3*len(polls)), nil)
+			}
 		}
 
 		stats.Trials++

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"tcast/internal/metrics"
+)
+
+// HealthzHandler answers load-balancer-style health probes: 200 "ok"
+// while every SLO rule passes (or when no engine is configured), 503
+// with the failing rule names otherwise.
+func HealthzHandler(s *SLO) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s == nil || s.Healthy() {
+			w.Write([]byte("ok\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("failing\n"))
+		for _, r := range s.Report().Rules {
+			if !r.Healthy {
+				w.Write([]byte(r.Rule + "\n"))
+			}
+		}
+	})
+}
+
+// SLOHandler serves the engine's full Report as JSON. With no engine
+// configured it reports vacuous health so the endpoint shape is stable.
+func SLOHandler(s *SLO) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rep := Report{Healthy: true}
+		if s != nil {
+			rep = s.Report()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}
+
+// sseSink buffers bus events toward one /events client. OnEvent never
+// blocks the publisher: when the client cannot keep up the event is
+// dropped and counted, and the stream reports the gap.
+type sseSink struct {
+	ch      chan Event
+	dropped atomic.Uint64
+}
+
+// sseBuffer is each /events client's event backlog capacity.
+const sseBuffer = 256
+
+// OnEvent implements Sink.
+func (s *sseSink) OnEvent(e Event) {
+	select {
+	case s.ch <- e:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// EventsHandler streams bus events as server-sent events: one
+// `event: <kind>` / `data: <json>` record per published event, plus
+// `event: dropped` records when the client falls behind. The
+// subscription lasts until the client disconnects.
+func EventsHandler(b *Bus) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+		sink := &sseSink{ch: make(chan Event, sseBuffer)}
+		b.Subscribe(sink)
+		defer b.Unsubscribe(sink)
+		var reported uint64
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case e := <-sink.ch:
+				line, err := EncodeEvent(e)
+				if err != nil {
+					continue
+				}
+				if _, err := w.Write([]byte("event: " + e.Kind.String() + "\ndata: ")); err != nil {
+					return
+				}
+				if _, err := w.Write(line); err != nil {
+					return
+				}
+				if _, err := w.Write([]byte("\n\n")); err != nil {
+					return
+				}
+				if d := sink.dropped.Load(); d > reported {
+					if _, err := w.Write([]byte("event: dropped\ndata: {\"dropped\":" +
+						uintString(d-reported) + "}\n\n")); err != nil {
+						return
+					}
+					reported = d
+				}
+				flusher.Flush()
+			}
+		}
+	})
+}
+
+// uintString formats without strconv import churn at call sites.
+func uintString(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// NewMux builds the observability endpoint: the metrics registry's
+// Prometheus and text dumps plus the plane's health, SLO and event
+// streams.
+//
+//	/metrics       Prometheus exposition of reg
+//	/metrics/text  human-readable dump of reg
+//	/healthz       SLO pass/fail probe
+//	/slo           full SLO report (JSON)
+//	/events        live event stream (SSE)
+func NewMux(reg *metrics.Registry, s *SLO, b *Bus) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.Handle("/metrics/text", metrics.TextHandler(reg))
+	mux.Handle("/healthz", HealthzHandler(s))
+	mux.Handle("/slo", SLOHandler(s))
+	mux.Handle("/events", EventsHandler(b))
+	return mux
+}
+
+// Serve exposes NewMux at addr in a background goroutine, returning the
+// listener error channel — the obs-aware superset of metrics.Serve,
+// behind the cmds' -metrics-addr flag.
+func Serve(addr string, reg *metrics.Registry, s *SLO, b *Bus) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- http.ListenAndServe(addr, NewMux(reg, s, b)) }()
+	return errc
+}

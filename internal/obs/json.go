@@ -1,0 +1,34 @@
+package obs
+
+import "encoding/json"
+
+// wireEvent is the JSON shape shared by the flight-recorder dump lines
+// and the /events SSE stream. Kind travels as its string name; the -1
+// sentinels of Trial/Poll/CausalPoll are preserved so consumers can tell
+// "not applicable" from index zero.
+type wireEvent struct {
+	Seq        uint64 `json:"seq"`
+	Kind       string `json:"kind"`
+	Session    string `json:"session,omitempty"`
+	Trial      int    `json:"trial"`
+	Poll       int    `json:"poll"`
+	Bin        int    `json:"bin,omitempty"`
+	Outcome    string `json:"outcome,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	Polls      int    `json:"polls,omitempty"`
+	Slots      int64  `json:"slots,omitempty"`
+	Correct    bool   `json:"correct"`
+	CausalPoll int    `json:"causal_poll"`
+}
+
+// EncodeEvent renders one event as a single JSON object (no trailing
+// newline).
+func EncodeEvent(e Event) ([]byte, error) {
+	return json.Marshal(wireEvent{
+		Seq: e.Seq, Kind: e.Kind.String(), Session: e.Session,
+		Trial: e.Trial, Poll: e.Poll, Bin: e.Bin,
+		Outcome: e.Outcome, Detail: e.Detail,
+		Polls: e.Polls, Slots: e.Slots,
+		Correct: e.Correct, CausalPoll: e.CausalPoll,
+	})
+}

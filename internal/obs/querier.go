@@ -1,0 +1,58 @@
+package obs
+
+import "tcast/internal/query"
+
+// Publisher is the query.Querier middleware that streams one KindPoll
+// event per group poll onto the bus. It sits outermost in a trial's chain
+// (above the trace span recorder), forwards everything untouched, and
+// consumes no randomness, so published runs stay byte-identical to bare
+// ones. Interpose it only when a bus is configured — the experiment
+// harness and cmds skip it entirely otherwise, keeping the pooled hot
+// path allocation-free.
+type Publisher struct {
+	q       query.Querier
+	bus     *Bus
+	session string
+	trial   int
+	poll    int
+}
+
+// NewPublisher wraps q, labeling every event with the session name and
+// trial index. Like the other observability layers, one Publisher serves
+// one session.
+func NewPublisher(q query.Querier, bus *Bus, session string, trial int) *Publisher {
+	return &Publisher{q: q, bus: bus, session: session, trial: trial}
+}
+
+// Query implements query.Querier: forward the poll, then publish its
+// outcome.
+func (p *Publisher) Query(bin []int) query.Response {
+	resp := p.q.Query(bin)
+	p.bus.Publish(Event{
+		Kind:    KindPoll,
+		Session: p.session,
+		Trial:   p.trial,
+		Poll:    p.poll,
+		Bin:     len(bin),
+		Outcome: resp.Kind.String(),
+
+		CausalPoll: -1,
+	})
+	p.poll++
+	return resp
+}
+
+// Traits implements query.Querier.
+func (p *Publisher) Traits() query.Traits { return p.q.Traits() }
+
+// Unwrap implements query.Wrapper, so chain-walking helpers (audit truth
+// discovery, metrics.FinishSession, the emit helpers below) see through
+// the publisher.
+func (p *Publisher) Unwrap() query.Querier { return p.q }
+
+// TraceRound forwards the algorithms' round-boundary hook down the chain.
+func (p *Publisher) TraceRound(round int) {
+	if rt, ok := p.q.(interface{ TraceRound(round int) }); ok {
+		rt.TraceRound(round)
+	}
+}

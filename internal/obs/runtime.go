@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"tcast/internal/metrics"
+)
+
+// WithPhase runs f under a pprof label phase=<name>, so CPU samples taken
+// while an experiment (or a sub-phase of one) runs are attributable in
+// `go tool pprof` with -tag_focus / tagroot. Labels cost nothing when no
+// profile is active.
+func WithPhase(name string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) { f() })
+}
+
+// Runtime metric names folded into the registry by the sampler, next to
+// the cost-model instruments — so Go-runtime cost (heap, GC, scheduler)
+// and paper-cost rates (polls/sec, slots/sec) read off one endpoint.
+const (
+	MetricGoroutines  = "go_goroutines"
+	MetricHeapBytes   = "go_heap_inuse_bytes"
+	MetricHeapObjects = "go_heap_objects_bytes"
+	MetricGCCycles    = "go_gc_cycles_total"
+	MetricGCPause     = "go_gc_pause_seconds_total"
+)
+
+// runtimeSamples are the runtime/metrics series the sampler reads; each
+// maps onto one registry gauge.
+var runtimeSamples = []struct {
+	name   string // runtime/metrics name
+	metric string // registry gauge name
+}{
+	{"/sched/goroutines:goroutines", MetricGoroutines},
+	{"/memory/classes/heap/objects:bytes", MetricHeapObjects},
+	{"/gc/cycles/total:gc-cycles", MetricGCCycles},
+}
+
+// SampleRuntime takes one sample of the Go runtime's own cost — live
+// goroutines, heap bytes, GC cycles and cumulative GC pause — into reg.
+// Heap-in-use and the pause total come from runtime.ReadMemStats (the
+// runtime/metrics pause series is a histogram with no exact sum); the
+// rest read through runtime/metrics. One call is cheap enough for a
+// per-second ticker and deterministic tests alike.
+func SampleRuntime(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	samples := make([]runtimemetrics.Sample, len(runtimeSamples))
+	for i, s := range runtimeSamples {
+		samples[i].Name = s.name
+	}
+	runtimemetrics.Read(samples)
+	for i, s := range runtimeSamples {
+		switch samples[i].Value.Kind() {
+		case runtimemetrics.KindUint64:
+			reg.Gauge(s.metric).Set(float64(samples[i].Value.Uint64()))
+		case runtimemetrics.KindFloat64:
+			reg.Gauge(s.metric).Set(samples[i].Value.Float64())
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge(MetricHeapBytes).Set(float64(ms.HeapInuse))
+	reg.Gauge(MetricGCPause).Set(float64(ms.PauseTotalNs) / 1e9)
+}
+
+// StartRuntimeSampler samples the runtime into reg every interval
+// (defaulting to one second) until the returned stop function is called.
+// Intended for live serving only (-metrics-addr): file-dumped registries
+// should stay free of wall-clock-dependent series, so cmds start the
+// sampler only when an endpoint is up.
+func StartRuntimeSampler(reg *metrics.Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		SampleRuntime(reg)
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				SampleRuntime(reg)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

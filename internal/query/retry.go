@@ -39,10 +39,11 @@ type Retry struct {
 	// the deepest layer's attempt count) complete the slot ledger.
 	below []*Retry
 
-	attempts int // polls issued downstream, including first attempts
-	retries  int // attempts beyond the first
-	backoff  int // idle slots spent waiting before retries
-	cum      []int
+	attempts  int // polls issued downstream, including first attempts
+	retries   int // attempts beyond the first
+	backoff   int // idle slots spent waiting before retries
+	exhausted int // polls still silent after the full retry budget
+	cum       []int
 }
 
 // WithRetry wraps q with the policy; an inactive policy returns q
@@ -83,6 +84,9 @@ func (r *Retry) Query(bin []int) Response {
 		r.attempts++
 		r.retries++
 		resp = r.q.Query(bin)
+	}
+	if resp.Kind == Empty {
+		r.exhausted++
 	}
 	r.cum = append(r.cum, r.attempts)
 	return resp
@@ -143,3 +147,7 @@ func (r *Retry) Retries() int { return r.retries }
 
 // BackoffSlots returns the idle slots spent waiting before retries.
 func (r *Retry) BackoffSlots() int { return r.backoff }
+
+// Exhausted returns the polls that stayed silent after the full retry
+// budget — the ones the policy could not recover.
+func (r *Retry) Exhausted() int { return r.exhausted }
