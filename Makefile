@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench tcastbench bench-smoke bench-obs bench-faults baseline figs lab cover fuzz clean
+.PHONY: all build test race lint bench tcastbench bench-smoke bench-obs bench-faults bench-scale baseline figs lab cover fuzz clean
 
 all: build test
 
@@ -49,6 +49,12 @@ bench-obs:
 # retry middleware stacked above the channel, against the bare entry.
 bench-faults:
 	$(GO) run ./cmd/tcastbench -run query-2tbins-faulted -out /dev/null
+
+# The telemetry-scale trio: fully observed 2tBins trials (sparse audit,
+# sampled spans, sketch sink) at N = 10^3 / 10^5 / 10^6 — the B/op
+# column is the flat-in-N claim the CI memory gate enforces.
+bench-scale:
+	$(GO) run ./cmd/tcastbench -run query-2tbins-scale -out /dev/null
 
 # Regenerate the committed perf baseline. Run the full suite on a quiet
 # machine, eyeball the diff against the previous baseline, and commit the

@@ -120,6 +120,8 @@ func main() {
 		threshold   = flag.Float64("threshold", 1.10, "ns/op ratio above which a benchmark counts as regressed")
 		allocGate   = flag.String("allocgate", "query-2tbins", "also gate allocs/op for benchmarks whose name contains this substring (empty disables)")
 		allocThresh = flag.Float64("allocthreshold", 1.10, "allocs/op ratio above which a gated benchmark counts as regressed")
+		memGate     = flag.String("memgate", "query-2tbins-scale", "also gate bytes/op for benchmarks whose name contains this substring (empty disables)")
+		memThresh   = flag.Float64("memthreshold", 1.25, "bytes/op ratio above which a gated benchmark counts as regressed")
 		input       = flag.String("input", "", "compare this BENCH.json against -baseline instead of running")
 		list        = flag.Bool("list", false, "list benchmark names and exit")
 		diffMode    = flag.Bool("diff", false, "diff two span-trace JSONL files (args: a.jsonl b.jsonl); exit 1 on divergence")
@@ -209,7 +211,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if regressions := compare(base, current, *threshold, *allocGate, *allocThresh); regressions > 0 {
+		if regressions := compare(base, current, *threshold, *allocGate, *allocThresh, *memGate, *memThresh); regressions > 0 {
 			fmt.Fprintf(os.Stderr, "tcastbench: %d benchmark(s) regressed beyond %.2fx\n", regressions, *threshold)
 			os.Exit(1)
 		}
@@ -280,9 +282,12 @@ func runBenches(short bool, filter, faultSpec string, bus *obs.Bus) File {
 // threshold relative to base. Benchmarks whose name contains allocGate are
 // additionally held to allocThresh on allocs/op — the hot-path benchmarks
 // are allocation-free by design, so new allocations are a regression even
-// when the wall clock hides them. Benchmarks present on only one side are
-// reported but never counted as regressions.
-func compare(base, current File, threshold float64, allocGate string, allocThresh float64) int {
+// when the wall clock hides them. Benchmarks whose name contains memGate
+// are likewise held to memThresh on bytes/op — the telemetry-scale trio
+// exists to pin per-trial observability memory flat in N, so byte growth
+// there is a regression regardless of speed. Benchmarks present on only
+// one side are reported but never counted as regressions.
+func compare(base, current File, threshold float64, allocGate string, allocThresh float64, memGate string, memThresh float64) int {
 	baseline := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseline[r.Name] = r
@@ -306,6 +311,11 @@ func compare(base, current File, threshold float64, allocGate string, allocThres
 		if allocGate != "" && strings.Contains(r.Name, allocGate) &&
 			float64(r.AllocsOp) > float64(old.AllocsOp)*allocThresh {
 			status = fmt.Sprintf("ALLOCS REGRESSED (%d -> %d allocs/op)", old.AllocsOp, r.AllocsOp)
+			regressions++
+		}
+		if memGate != "" && strings.Contains(r.Name, memGate) &&
+			float64(r.BytesOp) > float64(old.BytesOp)*memThresh {
+			status = fmt.Sprintf("BYTES REGRESSED (%d -> %d B/op)", old.BytesOp, r.BytesOp)
 			regressions++
 		}
 		fmt.Printf("%-24s %12.0f -> %12.0f ns/op  (%.2fx)  %s\n", r.Name, old.NsOp, r.NsOp, ratio, status)
@@ -428,6 +438,7 @@ func benches(faultSpec string) []bench {
 		csmaBench(),
 		packetBench(),
 	)
+	out = append(out, scaleBenches()...)
 	return out
 }
 
@@ -439,6 +450,10 @@ type trialState struct {
 	ch        fastsim.Channel
 	arena     core.Arena
 	chr, algr rng.Source
+	// aud is recycled across audited trials, mirroring the sweep driver:
+	// Reset re-grades in place and nothing reads the verdict's node
+	// account after the trial, so the pooled store is never observed stale.
+	aud *audit.Auditor
 }
 
 var trialPool = sync.Pool{New: func() any { return new(trialState) }}
@@ -473,11 +488,17 @@ func trialsBench(name string, layer obsLayer) bench {
 			var q query.Querier = &st.ch
 			var aud *audit.Auditor
 			if col != nil {
+				acfg := audit.Config{N: n, T: t}
 				var err error
-				aud, err = audit.New(q, audit.Config{N: n, T: t})
+				if st.aud == nil {
+					st.aud, err = audit.New(q, acfg)
+				} else {
+					err = st.aud.Reset(q, acfg)
+				}
 				if err != nil {
 					return 0, err
 				}
+				aud = st.aud
 				q = aud
 			}
 			var fb *trace.Builder

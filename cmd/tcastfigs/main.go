@@ -63,6 +63,7 @@ func main() {
 		retries     = flag.Int("retries", 0, "initiator retry budget per silent poll")
 		backoff     = flag.Int("backoff", 0, "idle slots before each retry")
 		traceOut    = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the run to this file")
+		traceSample = flag.Int("trace-sample", 1, "record 1-in-k poll leaf spans per session (k<=1 records all); virtual clock and session counters stay exact")
 		metricsOut  = flag.String("metrics", "", "dump run metrics to this file after the run ('-' = stdout, .prom = Prometheus format)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /slo and /events (SSE) on this address during the run")
 		pprofDir    = flag.String("pprof", "", "write cpu/heap/goroutine/mutex/block profiles for the run into this directory")
@@ -89,7 +90,7 @@ func main() {
 		fatal(err)
 	}
 	if *metricsAddr != "" {
-		obs.Serve(*metricsAddr, reg, plane.SLO(), plane.Bus())
+		obs.Serve(*metricsAddr, reg, plane)
 		// Runtime attribution (goroutines, heap, GC) is sampled only while
 		// live-serving, so file-dumped registries stay wall-clock-free.
 		stopSampler := obs.StartRuntimeSampler(reg, 0)
@@ -138,7 +139,8 @@ func main() {
 
 	opts := experiment.Options{
 		Runs: *runs, Seed: *seed, Workers: *workers,
-		Metrics: reg, Trace: builder, Audit: col, Obs: plane.Bus(),
+		Metrics: reg, Trace: builder, TraceSample: *traceSample,
+		Audit: col, Obs: plane.Bus(),
 		Retry: query.RetryPolicy{MaxRetries: *retries, Backoff: *backoff},
 	}
 	if *faultsSpec != "" {

@@ -50,9 +50,10 @@ func main() {
 		retries    = flag.Int("retries", 0, "initiator retry budget per silent poll (tcast algorithms)")
 		backoff    = flag.Int("backoff", 0, "idle slots before each retry")
 
-		traceOut   = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the whole sweep to this file")
-		metricsOut = flag.String("metrics", "", "dump per-poll metrics to this file after the sweep ('-' = stdout, .prom = Prometheus format)")
-		pprofDir   = flag.String("pprof", "", "write cpu/heap/goroutine/mutex/block profiles for the sweep into this directory")
+		traceOut    = flag.String("trace", "", "write a structured span trace (JSONL, virtual time) of the whole sweep to this file")
+		traceSample = flag.Int("trace-sample", 1, "record 1-in-k poll leaf spans per session (k<=1 records all); virtual clock and session counters stay exact")
+		metricsOut  = flag.String("metrics", "", "dump per-poll metrics to this file after the sweep ('-' = stdout, .prom = Prometheus format)")
+		pprofDir    = flag.String("pprof", "", "write cpu/heap/goroutine/mutex/block profiles for the sweep into this directory")
 	)
 	var obsCfg obs.Config
 	obsCfg.RegisterFlags(flag.CommandLine)
@@ -111,7 +112,7 @@ func main() {
 		fatal(err)
 	}
 	retry := query.RetryPolicy{MaxRetries: *retries, Backoff: *backoff}
-	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, fcfg, retry, reg, builder, col, plane.Bus())
+	trial, name, err := buildTrial(*alg, *n, *t, *x, cfg, fcfg, retry, reg, builder, *traceSample, col, plane.Bus())
 	if err != nil {
 		fatal(err)
 	}
@@ -181,7 +182,7 @@ func main() {
 // stacks the injector above the channel (CSMA honors the burst process
 // through its drop hook; sequential polling has no contention to fault);
 // an active retry policy re-polls silent bins within the priced budget.
-func buildTrial(alg string, n, t, x int, cfg fastsim.Config, fcfg faults.Config, retry query.RetryPolicy, reg *metrics.Registry, b *trace.Builder, col *audit.Collector, bus *obs.Bus) (func(i int, r *rng.Source) (float64, error), string, error) {
+func buildTrial(alg string, n, t, x int, cfg fastsim.Config, fcfg faults.Config, retry query.RetryPolicy, reg *metrics.Registry, b *trace.Builder, sample int, col *audit.Collector, bus *obs.Bus) (func(i int, r *rng.Source) (float64, error), string, error) {
 	baselineTrial := func(scheme string, run func(n, t int, pos *bitset.Set, r *rng.Source) baseline.Result) func(i int, r *rng.Source) (float64, error) {
 		return func(trialN int, r *rng.Source) (float64, error) {
 			pos := bitset.New(n)
@@ -271,6 +272,7 @@ func buildTrial(alg string, n, t, x int, cfg fastsim.Config, fcfg faults.Config,
 			fb = b.Fork(trialN)
 			fb.Begin(trace.KindTrial, "trial "+strconv.Itoa(trialN))
 			sq = trace.NewSpanQuerier(q, fb)
+			sq.SetSampling(sample, uint64(trialN))
 			sq.StartSession(a.Name(),
 				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
 			q = sq

@@ -23,7 +23,7 @@ func TestBuildTrialAllAlgorithms(t *testing.T) {
 		"csma":     "CSMA",
 		"seq":      "Sequential",
 	} {
-		trial, name, err := buildTrial(alg, 32, 8, 10, cfg, faults.Config{}, query.RetryPolicy{}, metrics.New(), nil, nil, nil)
+		trial, name, err := buildTrial(alg, 32, 8, 10, cfg, faults.Config{}, query.RetryPolicy{}, metrics.New(), nil, 1, nil, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -41,14 +41,14 @@ func TestBuildTrialAllAlgorithms(t *testing.T) {
 }
 
 func TestBuildTrialUnknownAlgorithm(t *testing.T) {
-	if _, _, err := buildTrial("nope", 32, 8, 10, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, nil, nil); err == nil {
+	if _, _, err := buildTrial("nope", 32, 8, 10, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, 1, nil, nil); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
 
 func TestBuildTrialAudited(t *testing.T) {
 	col := &audit.Collector{}
-	trial, _, err := buildTrial("2tbins", 32, 8, 10, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, col, nil)
+	trial, _, err := buildTrial("2tbins", 32, 8, 10, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, 1, col, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,14 +71,14 @@ func TestBuildTrialAudited(t *testing.T) {
 func TestBuildTrialAuditRejectsBaselines(t *testing.T) {
 	col := &audit.Collector{}
 	for _, alg := range []string{"csma", "seq"} {
-		if _, _, err := buildTrial(alg, 32, 8, 10, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, col, nil); err == nil {
+		if _, _, err := buildTrial(alg, 32, 8, 10, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, 1, col, nil); err == nil {
 			t.Fatalf("%s accepted -audit", alg)
 		}
 	}
 }
 
 func TestBuildTrialDeterministic(t *testing.T) {
-	trial, _, err := buildTrial("2tbins", 64, 8, 12, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, nil, nil)
+	trial, _, err := buildTrial("2tbins", 64, 8, 12, fastsim.DefaultConfig(), faults.Config{}, query.RetryPolicy{}, nil, nil, 1, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestBuildTrialFaultedAndRetried(t *testing.T) {
 		t.Fatal(err)
 	}
 	retry := query.RetryPolicy{MaxRetries: 2, Backoff: 1}
-	trial, _, err := buildTrial("2tbins", 32, 8, 10, fastsim.DefaultConfig(), fcfg, retry, nil, nil, nil, nil)
+	trial, _, err := buildTrial("2tbins", 32, 8, 10, fastsim.DefaultConfig(), fcfg, retry, nil, nil, 1, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

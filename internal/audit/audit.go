@@ -236,9 +236,12 @@ type Verdict struct {
 	// Violations lists every Knowledge-invariant breach observed.
 	Violations []Violation
 	// Initiator and Nodes are the per-node channel-occupancy ledgers
-	// (see Verdict.Energy).
+	// (see Verdict.Energy). Nodes is sparse: only nodes that appeared in
+	// a polled bin carry an entry, and Nodes.At reports the zero ledger
+	// for the rest. It aliases the auditor's working account — read it
+	// before the auditor is Reset for the next session.
 	Initiator energy.SlotLedger
-	Nodes     []energy.SlotLedger
+	Nodes     NodeLedgers
 }
 
 // Correct reports whether the decision matched ground truth.
@@ -291,7 +294,7 @@ type Auditor struct {
 	violations []Violation
 
 	initiator energy.SlotLedger
-	nodes     []energy.SlotLedger
+	nodes     NodeLedgers
 
 	verdict *Verdict
 
@@ -305,11 +308,25 @@ type Auditor struct {
 // likewise cfg.Lossless defaults to the substrate's own Lossless report
 // (false when it has none).
 func New(q query.Querier, cfg Config) (*Auditor, error) {
+	a := &Auditor{}
+	if err := a.Reset(q, cfg); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Reset re-targets an existing auditor at a fresh session, reusing its
+// shadow Knowledge bitset, poll/violation slices, and the node account's
+// map buckets. A pooled trial loop resets one auditor per worker instead
+// of allocating O(N) state per session; after Reset the auditor is
+// indistinguishable from a freshly New'd one, but any previously
+// returned Verdict's Nodes account is invalidated.
+func (a *Auditor) Reset(q query.Querier, cfg Config) error {
 	if q == nil {
-		return nil, fmt.Errorf("audit: nil querier")
+		return fmt.Errorf("audit: nil querier")
 	}
 	if cfg.N < 0 || cfg.T < 0 {
-		return nil, fmt.Errorf("audit: negative population n=%d or threshold t=%d", cfg.N, cfg.T)
+		return fmt.Errorf("audit: negative population n=%d or threshold t=%d", cfg.N, cfg.T)
 	}
 	root := query.Root(q)
 	truth := cfg.Truth
@@ -317,7 +334,7 @@ func New(q query.Querier, cfg Config) (*Auditor, error) {
 		var ok bool
 		truth, ok = root.(Truth)
 		if !ok {
-			return nil, fmt.Errorf("audit: substrate %T exposes no ground truth and none was supplied", root)
+			return fmt.Errorf("audit: substrate %T exposes no ground truth and none was supplied", root)
 		}
 	}
 	lossless := false
@@ -342,20 +359,38 @@ func New(q query.Querier, cfg Config) (*Auditor, error) {
 			walk = w.Unwrap()
 		}
 	}
-	a := &Auditor{
-		q:        q,
-		truth:    truth,
-		n:        cfg.N,
-		t:        cfg.T,
-		lossless: lossless,
-		shadow:   query.NewKnowledge(cfg.N, cfg.T),
-		nodes:    make([]energy.SlotLedger, cfg.N),
+	a.q = q
+	a.truth = truth
+	a.n, a.t = cfg.N, cfg.T
+	a.lossless = lossless
+	if a.shadow == nil {
+		a.shadow = query.NewKnowledge(cfg.N, cfg.T)
+	} else {
+		a.shadow.Reset(cfg.N, cfg.T)
 	}
-	for id := 0; id < cfg.N; id++ {
-		if truth.IsPositive(id) {
-			a.trueX++
+	a.nodes.reset(cfg.N)
+	a.polls = a.polls[:0]
+	a.classes = [NumClasses]int{}
+	a.violations = a.violations[:0]
+	a.initiator = energy.SlotLedger{}
+	a.verdict = nil
+	// Counting true positives by scanning IsPositive over the population
+	// is O(N) per session; substrates that already know their positive
+	// count (fastsim.Channel, pollcast.Session expose Positives) answer
+	// in O(1).
+	a.trueX = 0
+	if tc, ok := truth.(interface{ Positives() int }); ok {
+		a.trueX = tc.Positives()
+	} else {
+		for id := 0; id < cfg.N; id++ {
+			if truth.IsPositive(id) {
+				a.trueX++
+			}
 		}
 	}
+	a.mPolls = [NumClasses]*metrics.Counter{}
+	a.mSessions = [NumOutcomes]*metrics.Counter{}
+	a.mViolations = [NumInvariants]*metrics.Counter{}
 	if m := cfg.Metrics; m != nil {
 		// Resolve every partition member up front so zero-valued series
 		// still appear in dumps and the partitions visibly sum.
@@ -369,7 +404,7 @@ func New(q query.Querier, cfg Config) (*Auditor, error) {
 			a.mViolations[i] = m.Counter(MetricAuditViolations, "invariant", i.String())
 		}
 	}
-	return a, nil
+	return nil
 }
 
 // TrueX returns the ground-truth positive count over {0..n-1}.

@@ -110,7 +110,7 @@ func TestAuditorGradesSession(t *testing.T) {
 	if v.Initiator != (energy.SlotLedger{Tx: 3, Rx: 3}) {
 		t.Fatalf("initiator ledger = %+v", v.Initiator)
 	}
-	if v.Nodes[0] != (energy.SlotLedger{Rx: 1, Tx: 1}) || v.Nodes[3] != (energy.SlotLedger{Rx: 1, Idle: 1}) {
+	if v.Nodes.At(0) != (energy.SlotLedger{Rx: 1, Tx: 1}) || v.Nodes.At(3) != (energy.SlotLedger{Rx: 1, Idle: 1}) {
 		t.Fatalf("node ledgers = %+v", v.Nodes)
 	}
 	rep := v.Energy(energy.CC2420())

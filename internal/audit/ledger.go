@@ -21,10 +21,10 @@ func (a *Auditor) account(bin []int) {
 	a.initiator.Tx++
 	a.initiator.Rx++
 	for _, id := range bin {
-		if id < 0 || id >= len(a.nodes) {
+		if id < 0 || id >= a.nodes.N {
 			continue
 		}
-		l := &a.nodes[id]
+		l := a.nodes.ledgerFor(id)
 		l.Rx++
 		if a.truth.IsPositive(id) {
 			l.Tx++
@@ -42,7 +42,7 @@ func (a *Auditor) account(bin []int) {
 func (v Verdict) Energy(m energy.Model) energy.Report {
 	pollAir := timing.FrameAirtime(3)
 	ackAir := timing.AckAirtime()
-	rep := energy.ObservedSession(m, ackAir, pollAir, ackAir, energy.SlotLedger{}, v.Nodes)
+	rep := energy.ObservedSession(m, ackAir, pollAir, ackAir, energy.SlotLedger{}, v.Nodes.Dense())
 	rep.Initiator = energy.ObservedSession(m, pollAir, ackAir, ackAir, v.Initiator, nil).Initiator
 	return rep
 }

@@ -1,0 +1,147 @@
+package audit
+
+import (
+	"sort"
+
+	"tcast/internal/energy"
+	"tcast/internal/sketch"
+)
+
+// NodeLedgers is the sparse per-node channel-occupancy account over a
+// population of N nodes. The dense predecessor allocated N ledgers up
+// front — 24 MB of zeroes per audited session at N=10^6 — even though a
+// session only occupies the nodes its bins actually polled.
+//
+// The store is generation-stamped: node ids map to stable slots in an
+// entry array through a persistent index that is never cleared, and each
+// entry carries the generation that last touched it. Reset is a
+// generation bump plus truncating the touched-slot list — no map clear,
+// no bucket churn — so a recycled auditor accounts sessions with zero
+// steady-state allocations even when a round polls the whole field
+// (2tBins round 1 touches every candidate, which degenerates a
+// clear-and-refill map into O(N) overflow-bucket traffic per trial).
+//
+// Untouched nodes implicitly hold the zero ledger; At reports them as
+// such, so sparse and dense accounts are observationally identical.
+type NodeLedgers struct {
+	// N is the population size; ids outside [0, N) are never accounted.
+	N int
+	// gen is the current session's generation; entries stamped with an
+	// older generation are logically absent.
+	gen uint64
+	// idx maps node id -> slot in entries. It persists across resets:
+	// a node keeps its slot for the lifetime of the store.
+	idx map[int]int32
+	// entries holds one slot per node ever touched; a slot belongs to
+	// the current session iff its gen matches.
+	entries []nodeEntry
+	// touched lists the slots stamped this generation, in touch order.
+	touched []int32
+}
+
+type nodeEntry struct {
+	gen    uint64
+	id     int
+	ledger energy.SlotLedger
+}
+
+// newNodeLedgers returns an empty account over n nodes.
+func newNodeLedgers(n int) NodeLedgers {
+	return NodeLedgers{N: n, gen: 1, idx: map[int]int32{}}
+}
+
+// reset re-targets the account at a population of n. It invalidates all
+// current entries by bumping the generation; slots, index, and capacity
+// are all kept.
+func (nl *NodeLedgers) reset(n int) {
+	nl.N = n
+	nl.gen++
+	if nl.idx == nil {
+		nl.idx = map[int]int32{}
+	}
+	nl.touched = nl.touched[:0]
+}
+
+// ledgerFor returns a mutable ledger for node id, marking it touched in
+// the current generation. Steady state (node seen in a prior session)
+// allocates nothing; a node's first-ever touch claims a slot.
+func (nl *NodeLedgers) ledgerFor(id int) *energy.SlotLedger {
+	slot, ok := nl.idx[id]
+	if !ok {
+		slot = int32(len(nl.entries))
+		nl.entries = append(nl.entries, nodeEntry{id: id})
+		nl.idx[id] = slot
+	}
+	e := &nl.entries[slot]
+	if e.gen != nl.gen {
+		e.gen = nl.gen
+		e.ledger = energy.SlotLedger{}
+		nl.touched = append(nl.touched, slot)
+	}
+	return &e.ledger
+}
+
+// At returns node id's ledger; untouched nodes report the zero ledger.
+func (nl NodeLedgers) At(id int) energy.SlotLedger {
+	if slot, ok := nl.idx[id]; ok && nl.entries[slot].gen == nl.gen {
+		return nl.entries[slot].ledger
+	}
+	return energy.SlotLedger{}
+}
+
+// Len returns the number of touched nodes.
+func (nl NodeLedgers) Len() int { return len(nl.touched) }
+
+// IDs returns the touched node ids in ascending order.
+func (nl NodeLedgers) IDs() []int {
+	ids := make([]int, 0, len(nl.touched))
+	for _, slot := range nl.touched {
+		ids = append(ids, nl.entries[slot].id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Dense materializes the account as one ledger per node — the dense
+// shape energy.ObservedSession prices. It allocates O(N); call it only
+// on report paths, never per-trial.
+func (nl NodeLedgers) Dense() []energy.SlotLedger {
+	out := make([]energy.SlotLedger, nl.N)
+	for _, slot := range nl.touched {
+		e := nl.entries[slot]
+		if e.id >= 0 && e.id < nl.N {
+			out[e.id] = e.ledger
+		}
+	}
+	return out
+}
+
+// SlotSketch summarizes the population's per-node slot totals as a
+// mergeable quantile sketch: every touched node contributes its
+// rx+tx+idle slot count and the N-touched silent nodes contribute zeros,
+// so quantiles are over the whole field, not just the polled part.
+// Sketch bucket adds commute, so the summary is independent of touch
+// order — the same population always renders the same bytes.
+// Non-positive alpha selects sketch.DefaultAlpha.
+func (nl NodeLedgers) SlotSketch(alpha float64) *sketch.Quantile {
+	q := sketch.NewQuantile(alpha)
+	nl.SlotSketchInto(q)
+	return q
+}
+
+// SlotSketchInto folds the population's slot totals into an existing
+// sketch — the allocation-free form for pooled callers.
+func (nl NodeLedgers) SlotSketchInto(q *sketch.Quantile) {
+	counted := 0
+	for _, slot := range nl.touched {
+		e := nl.entries[slot]
+		if e.id < 0 || e.id >= nl.N {
+			continue
+		}
+		counted++
+		q.ObserveN(float64(e.ledger.Slots()), 1)
+	}
+	if silent := nl.N - counted; silent > 0 {
+		q.ObserveN(0, uint64(silent))
+	}
+}

@@ -1,0 +1,161 @@
+package audit
+
+import (
+	"reflect"
+	"testing"
+
+	"tcast/internal/energy"
+	"tcast/internal/fastsim"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+	"tcast/internal/sketch"
+)
+
+func scriptedSession() *scripted {
+	return &scripted{
+		truth:  map[int]bool{0: true, 1: true, 2: true},
+		traits: query.Traits{Model: query.OnePlus},
+		resps: []query.Response{
+			{Kind: query.Empty},
+			{Kind: query.Active},
+			{Kind: query.Active},
+		},
+	}
+}
+
+// TestSparseLedgerMatchesDense pins the sparse account to the dense
+// semantics: At reports untouched nodes as zero ledgers, Dense
+// reconstructs exactly the array the old dense auditor built, and the
+// verdict's energy report is unchanged.
+func TestSparseLedgerMatchesDense(t *testing.T) {
+	aud, err := New(scriptedSession(), Config{N: 6, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bin := range [][]int{{0, 1}, {2, 3}, {4, 5}} {
+		aud.Query(bin)
+	}
+	v := aud.Finish(false)
+
+	wantDense := []energy.SlotLedger{
+		{Rx: 1, Tx: 1}, {Rx: 1, Tx: 1}, {Rx: 1, Tx: 1},
+		{Rx: 1, Idle: 1}, {Rx: 1, Idle: 1}, {Rx: 1, Idle: 1},
+	}
+	if got := v.Nodes.Dense(); !reflect.DeepEqual(got, wantDense) {
+		t.Fatalf("Dense() = %+v, want %+v", got, wantDense)
+	}
+	for id, want := range wantDense {
+		if got := v.Nodes.At(id); got != want {
+			t.Errorf("At(%d) = %+v, want %+v", id, got, want)
+		}
+	}
+	if got := v.Nodes.At(99); got != (energy.SlotLedger{}) {
+		t.Errorf("At(untouched) = %+v, want zero", got)
+	}
+	if ids := v.Nodes.IDs(); !reflect.DeepEqual(ids, []int{0, 1, 2, 3, 4, 5}) {
+		t.Errorf("IDs() = %v", ids)
+	}
+	rep := v.Energy(energy.CC2420())
+	if len(rep.PerNode) != 6 || rep.PerNode[0] <= 0 {
+		t.Fatalf("energy report: %+v", rep)
+	}
+}
+
+// TestAuditorResetEquivalence: a Reset-recycled auditor must grade a
+// session identically to a freshly constructed one — same verdict, same
+// ledgers, same sketch bytes.
+func TestAuditorResetEquivalence(t *testing.T) {
+	run := func(a *Auditor) Verdict {
+		for _, bin := range [][]int{{0, 1}, {2, 3}, {4, 5}} {
+			a.Query(bin)
+		}
+		return a.Finish(false)
+	}
+	fresh, err := New(scriptedSession(), Config{N: 6, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run(fresh)
+	wantSketch := want.Nodes.SlotSketch(0.01).String()
+
+	pooled, err := New(scriptedSession(), Config{N: 9, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the pooled auditor with a different-shaped session first.
+	pooled.Query([]int{7, 8})
+	pooled.Finish(true)
+	if err := pooled.Reset(scriptedSession(), Config{N: 6, T: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got := run(pooled)
+	if got.Decision != want.Decision || got.Truth != want.Truth || got.TrueX != want.TrueX ||
+		got.Outcome != want.Outcome || got.CausalPoll != want.CausalPoll ||
+		got.Polls != want.Polls || got.Classes != want.Classes ||
+		got.Initiator != want.Initiator {
+		t.Fatalf("recycled verdict differs:\n got %+v\nwant %+v", got, want)
+	}
+	// The recycled store sits at a later generation and may hold stale
+	// slots from the dirty session, so compare observationally.
+	if !reflect.DeepEqual(got.Nodes.Dense(), want.Nodes.Dense()) {
+		t.Fatalf("recycled node account differs:\n got %+v\nwant %+v", got.Nodes.Dense(), want.Nodes.Dense())
+	}
+	if !reflect.DeepEqual(got.Nodes.IDs(), want.Nodes.IDs()) {
+		t.Fatalf("recycled touched set differs:\n got %v\nwant %v", got.Nodes.IDs(), want.Nodes.IDs())
+	}
+	if gotSketch := got.Nodes.SlotSketch(0.01).String(); gotSketch != wantSketch {
+		t.Fatalf("recycled population sketch differs:\n got %q\nwant %q", gotSketch, wantSketch)
+	}
+}
+
+// TestSlotSketchCoversPopulation: the population sketch summarizes all N
+// nodes — the touched ones by their slot totals, the silent majority as
+// zeros — in memory independent of N.
+func TestSlotSketchCoversPopulation(t *testing.T) {
+	nl := newNodeLedgers(1000)
+	*nl.ledgerFor(3) = energy.SlotLedger{Rx: 2, Tx: 1}
+	*nl.ledgerFor(700) = energy.SlotLedger{Rx: 4, Idle: 4}
+	q := nl.SlotSketch(0.01)
+	if q.Count() != 1000 {
+		t.Fatalf("sketch count %d, want 1000", q.Count())
+	}
+	if got := q.Value(0.5); got != 0 {
+		t.Errorf("median %v, want 0 (silent majority)", got)
+	}
+	if got := q.Value(1); got < 7.9 || got > 8.1 {
+		t.Errorf("max quantile %v, want ~8", got)
+	}
+	if q.Buckets() > 3 {
+		t.Errorf("buckets %d for 2 distinct totals + zeros", q.Buckets())
+	}
+	// SlotSketchInto folds into an existing sketch without allocating.
+	q2 := sketch.NewQuantile(0.01)
+	nl.SlotSketchInto(q2)
+	nl.SlotSketchInto(q2)
+	if q2.Count() != 2000 {
+		t.Fatalf("into-count %d, want 2000", q2.Count())
+	}
+}
+
+// TestTrueCountFastPath: a truth oracle exposing Positives() answers the
+// true-x scan in O(1) — and is trusted over a per-id scan.
+func TestTrueCountFastPath(t *testing.T) {
+	r := rng.New(3)
+	ch, _ := fastsim.RandomPositives(500, 42, fastsim.Config{Model: query.OnePlus}, r)
+	aud, err := New(ch, Config{N: 500, T: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aud.TrueX() != 42 {
+		t.Fatalf("TrueX = %d, want 42", aud.TrueX())
+	}
+	// The scripted substrate has no Positives method: the scan path.
+	sc := scriptedSession()
+	aud2, err := New(sc, Config{N: 6, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aud2.TrueX() != 3 {
+		t.Fatalf("scan TrueX = %d, want 3", aud2.TrueX())
+	}
+}

@@ -59,6 +59,14 @@ type Options struct {
 	// Like Metrics, tracing consumes no randomness, so the computed
 	// tables are bit-identical with and without it.
 	Trace *trace.Builder
+	// TraceSample, when > 1, records only 1-in-k poll leaf spans per
+	// session (trace.SpanQuerier.SetSampling, keyed by the trial index so
+	// identical runs sample identical spans for any worker count). Round
+	// and session spans, the virtual clock, and the session poll/node
+	// counters stay exact; sampled traces Analyze with counts scaled by
+	// the inverse rate. Values <= 1 record everything and are
+	// byte-identical to the pre-sampling format.
+	TraceSample int
 	// Audit, when non-nil, grades every session against the substrate's
 	// ground truth: each trial's querier chain gains an audit.Auditor and
 	// its verdict (decision outcome, poll soundness classes, invariant
@@ -292,6 +300,11 @@ type trialState struct {
 	ch        fastsim.Channel
 	arena     core.Arena
 	chr, algr rng.Source
+	// aud is the recycled auditor of audited sweeps: Reset re-grades a
+	// new session in place (generation-bumped ledgers, recycled shadow
+	// knowledge), and the collector extracts verdict scalars immediately,
+	// so nothing observes the store after the trial returns it.
+	aud *audit.Auditor
 }
 
 var trialPool = sync.Pool{New: func() any { return new(trialState) }}
@@ -319,11 +332,17 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 			label = fmt.Sprintf("%s/n=%d/t=%d/x=%d/trial=%d", alg.Name(), n, t, x, trial)
 		}
 		if o.Audit != nil {
+			acfg := audit.Config{N: n, T: t, Metrics: o.Metrics}
 			var err error
-			aud, err = audit.New(q, audit.Config{N: n, T: t, Metrics: o.Metrics})
+			if st.aud == nil {
+				st.aud, err = audit.New(q, acfg)
+			} else {
+				err = st.aud.Reset(q, acfg)
+			}
 			if err != nil {
 				return 0, err
 			}
+			aud = st.aud
 			q = aud
 		}
 		var fb *trace.Builder
@@ -334,6 +353,7 @@ func tcastCost(fac algChannelFactory, n, t, x int, cfg fastsim.Config, o Options
 			fb = b.Fork(trial)
 			fb.Begin(trace.KindTrial, "trial "+strconv.Itoa(trial))
 			sq = trace.NewSpanQuerier(q, fb)
+			sq.SetSampling(o.TraceSample, uint64(trial))
 			sq.StartSession(alg.Name(),
 				trace.IntAttr("n", n), trace.IntAttr("t", t), trace.IntAttr("x", x))
 			q = sq

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"tcast/internal/audit"
@@ -30,8 +31,10 @@ func TestObsPlaneByteIdentical(t *testing.T) {
 			bareTab, bareTrace, bareAudit := runObserved(t, id, o)
 
 			bus := obs.NewBus()
-			var events int
-			bus.Subscribe(obs.SinkFunc(func(obs.Event) { events++ }))
+			// Sinks run on the publishing trial goroutines, so the counter
+			// must be atomic — this test exists to run under -race.
+			var events atomic.Int64
+			bus.Subscribe(obs.SinkFunc(func(obs.Event) { events.Add(1) }))
 			o.Obs = bus
 			oTab, oTrace, oAudit := runObserved(t, id, o)
 
@@ -44,7 +47,7 @@ func TestObsPlaneByteIdentical(t *testing.T) {
 			if bareAudit != oAudit {
 				t.Errorf("audit dumps differ:\nbare:\n%s\nobserved:\n%s", bareAudit, oAudit)
 			}
-			if events == 0 {
+			if events.Load() == 0 {
 				t.Error("bus saw no events — plane not wired into the run")
 			}
 		})

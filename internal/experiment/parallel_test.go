@@ -186,3 +186,68 @@ func TestSweepErrorDropsObservationBatch(t *testing.T) {
 		t.Fatalf("failed sweep leaked trial spans: %d spans", tr.NumSpans())
 	}
 }
+
+// sampledRun executes fig1 with 1-in-k trace sampling and returns the
+// rendered table plus the encoded trace bytes.
+func sampledRun(t *testing.T, e Experiment, workers, sample int) (string, []byte) {
+	t.Helper()
+	b := trace.NewBuilder()
+	b.Begin(trace.KindExperiment, e.ID)
+	tab, err := e.Run(Options{Runs: 20, Seed: 2011, Workers: workers, Trace: b, TraceSample: sample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.End()
+	enc, err := trace.EncodeBytes(b.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Render(tab), enc
+}
+
+// TestSampledTraceWorkerIndependent: head-rate sampling keys off the trial
+// index, so a sampled sweep must stay byte-identical across worker counts,
+// its table must match the unsampled run exactly, its trace must be
+// smaller, and Analyze must recover the exact poll count from the session
+// attributes with leaves scaled by the inverse rate.
+func TestSampledTraceWorkerIndependent(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 8
+	}
+	e, err := Get("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullTab, fullEnc := sampledRun(t, e, 1, 1)
+	serialTab, serialEnc := sampledRun(t, e, 1, 8)
+	parallelTab, parallelEnc := sampledRun(t, e, workers, 8)
+	if serialTab != parallelTab || serialTab != fullTab {
+		t.Fatalf("sampling or worker count changed the table:\n--- full ---\n%s--- sampled serial ---\n%s--- sampled workers=%d ---\n%s",
+			fullTab, serialTab, workers, parallelTab)
+	}
+	if !bytes.Equal(serialEnc, parallelEnc) {
+		t.Fatalf("sampled trace bytes differ between workers=1 and workers=%d", workers)
+	}
+	if len(serialEnc) >= len(fullEnc) {
+		t.Fatalf("sampled trace (%d bytes) not smaller than full trace (%d bytes)", len(serialEnc), len(fullEnc))
+	}
+	full, err := trace.Decode(bytes.NewReader(fullEnc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := trace.Decode(bytes.NewReader(serialEnc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, sa := trace.Analyze(full), trace.Analyze(sampled)
+	if fa.SampledPolls != fa.Polls {
+		t.Fatalf("unsampled analysis disagrees with itself: %d recorded vs %d polls", fa.SampledPolls, fa.Polls)
+	}
+	if sa.SampledPolls >= fa.Polls || sa.SampledPolls == 0 {
+		t.Fatalf("sampled trace recorded %d poll leaves, want 0 < n < %d", sa.SampledPolls, fa.Polls)
+	}
+	if sa.Polls != sa.SampledPolls*8 {
+		t.Fatalf("scaled poll estimate %d, want %d*8", sa.Polls, sa.SampledPolls)
+	}
+}

@@ -41,6 +41,16 @@ func WriteText(w io.Writer, s Snapshot) error {
 			}
 		}
 	}
+	for _, sm := range s.Summaries {
+		if _, err := fmt.Fprintf(w, "%s count=%d sum=%g min=%g max=%g\n", sm.Name, sm.Count, sm.Sum, sm.Min, sm.Max); err != nil {
+			return err
+		}
+		for _, qp := range sm.Quantiles {
+			if _, err := fmt.Fprintf(w, "  q=%g %g\n", qp.Q, qp.Value); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -92,6 +102,22 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", suffixed(h.Name, "_count"), h.Count); err != nil {
+			return err
+		}
+	}
+	for _, sm := range s.Summaries {
+		if err := typeLine(baseName(sm.Name), "summary"); err != nil {
+			return err
+		}
+		for _, qp := range sm.Quantiles {
+			if _, err := fmt.Fprintf(w, "%s %g\n", withLabel(sm.Name, "", "quantile", fmt.Sprintf("%g", qp.Q)), qp.Value); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", suffixed(sm.Name, "_sum"), sm.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", suffixed(sm.Name, "_count"), sm.Count); err != nil {
 			return err
 		}
 	}

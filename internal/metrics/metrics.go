@@ -104,6 +104,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	summaries  map[string]*Summary
 }
 
 // New returns an empty registry.
@@ -112,6 +113,7 @@ func New() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		summaries:  map[string]*Summary{},
 	}
 }
 
@@ -201,6 +203,7 @@ type Snapshot struct {
 	Counters   []MetricValue
 	Gauges     []MetricValue
 	Histograms []HistogramValue
+	Summaries  []SummaryValue
 }
 
 // Snapshot captures the registry. Individual metric reads are atomic;
@@ -229,9 +232,13 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Histograms = append(s.Histograms, hv)
 	}
+	for name, sm := range r.summaries {
+		s.Summaries = append(s.Summaries, sm.snapshotValue(name))
+	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Summaries, func(i, j int) bool { return s.Summaries[i].Name < s.Summaries[j].Name })
 	return s
 }
 

@@ -28,14 +28,23 @@ func HealthzHandler(s *SLO) http.Handler {
 	})
 }
 
-// SLOHandler serves the engine's full Report as JSON. With no engine
-// configured it reports vacuous health so the endpoint shape is stable.
-func SLOHandler(s *SLO) http.Handler {
+// SLOHandler serves the engine's full Report as JSON, folding in the
+// sketch sink's cost-distribution snapshot and the SSE drop counter when
+// present. With no engine configured it reports vacuous health so the
+// endpoint shape is stable.
+func SLOHandler(s *SLO, sk *SketchSink, dropped *metrics.Counter) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		rep := Report{Healthy: true}
 		if s != nil {
 			rep = s.Report()
+		}
+		if sk != nil {
+			snap := sk.Snapshot()
+			rep.Sketches = &snap
+		}
+		if dropped != nil {
+			rep.EventsDropped = uint64(dropped.Value())
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -45,10 +54,13 @@ func SLOHandler(s *SLO) http.Handler {
 
 // sseSink buffers bus events toward one /events client. OnEvent never
 // blocks the publisher: when the client cannot keep up the event is
-// dropped and counted, and the stream reports the gap.
+// dropped and counted — per client for the in-stream gap reports, and
+// on the shared obs_events_dropped_total counter so silent loss shows
+// up in the metrics registry and the /slo payload.
 type sseSink struct {
 	ch      chan Event
 	dropped atomic.Uint64
+	total   *metrics.Counter // shared cross-client counter, may be nil
 }
 
 // sseBuffer is each /events client's event backlog capacity.
@@ -60,6 +72,9 @@ func (s *sseSink) OnEvent(e Event) {
 	case s.ch <- e:
 	default:
 		s.dropped.Add(1)
+		if s.total != nil {
+			s.total.Inc()
+		}
 	}
 }
 
@@ -67,7 +82,7 @@ func (s *sseSink) OnEvent(e Event) {
 // `event: <kind>` / `data: <json>` record per published event, plus
 // `event: dropped` records when the client falls behind. The
 // subscription lasts until the client disconnects.
-func EventsHandler(b *Bus) http.Handler {
+func EventsHandler(b *Bus, dropped *metrics.Counter) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		flusher, ok := w.(http.Flusher)
 		if !ok {
@@ -78,7 +93,7 @@ func EventsHandler(b *Bus) http.Handler {
 		w.Header().Set("Cache-Control", "no-cache")
 		w.WriteHeader(http.StatusOK)
 		flusher.Flush()
-		sink := &sseSink{ch: make(chan Event, sseBuffer)}
+		sink := &sseSink{ch: make(chan Event, sseBuffer), total: dropped}
 		b.Subscribe(sink)
 		defer b.Unsubscribe(sink)
 		var reported uint64
@@ -137,21 +152,21 @@ func uintString(v uint64) string {
 //	/healthz       SLO pass/fail probe
 //	/slo           full SLO report (JSON)
 //	/events        live event stream (SSE)
-func NewMux(reg *metrics.Registry, s *SLO, b *Bus) *http.ServeMux {
+func NewMux(reg *metrics.Registry, p *Plane) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.Handler(reg))
 	mux.Handle("/metrics/text", metrics.TextHandler(reg))
-	mux.Handle("/healthz", HealthzHandler(s))
-	mux.Handle("/slo", SLOHandler(s))
-	mux.Handle("/events", EventsHandler(b))
+	mux.Handle("/healthz", HealthzHandler(p.SLO()))
+	mux.Handle("/slo", SLOHandler(p.SLO(), p.Sketches(), p.EventsDropped()))
+	mux.Handle("/events", EventsHandler(p.Bus(), p.EventsDropped()))
 	return mux
 }
 
 // Serve exposes NewMux at addr in a background goroutine, returning the
 // listener error channel — the obs-aware superset of metrics.Serve,
 // behind the cmds' -metrics-addr flag.
-func Serve(addr string, reg *metrics.Registry, s *SLO, b *Bus) <-chan error {
+func Serve(addr string, reg *metrics.Registry, p *Plane) <-chan error {
 	errc := make(chan error, 1)
-	go func() { errc <- http.ListenAndServe(addr, NewMux(reg, s, b)) }()
+	go func() { errc <- http.ListenAndServe(addr, NewMux(reg, p)) }()
 	return errc
 }

@@ -48,7 +48,7 @@ func TestHealthzHandler(t *testing.T) {
 
 func TestSLOHandler(t *testing.T) {
 	rec := httptest.NewRecorder()
-	SLOHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	SLOHandler(nil, nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
 	var rep Report
 	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func TestSLOHandler(t *testing.T) {
 	}
 
 	rec = httptest.NewRecorder()
-	SLOHandler(failingSLO(t)).ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	SLOHandler(failingSLO(t), nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 		t.Fatalf("content type %q", ct)
 	}
@@ -76,7 +76,7 @@ func TestSLOHandler(t *testing.T) {
 
 func TestEventsHandlerSSE(t *testing.T) {
 	bus := NewBus()
-	srv := httptest.NewServer(EventsHandler(bus))
+	srv := httptest.NewServer(EventsHandler(bus, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL)
@@ -149,7 +149,7 @@ func TestEventsHandlerSSE(t *testing.T) {
 func TestNewMuxRoutes(t *testing.T) {
 	reg := metrics.New()
 	reg.Counter("polls_total", "kind", "empty").Add(3)
-	mux := NewMux(reg, failingSLO(t), NewBus())
+	mux := NewMux(reg, &Plane{bus: NewBus(), slo: failingSLO(t), dropped: reg.Counter(MetricEventsDropped)})
 
 	get := func(path string) *httptest.ResponseRecorder {
 		rec := httptest.NewRecorder()

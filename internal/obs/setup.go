@@ -29,6 +29,10 @@ type Config struct {
 	// SLOSpec declares the health rules (see ParseRules), e.g.
 	// "maxpolls=96,maxslots=288,minacc=0.99,window=1000".
 	SLOSpec string
+	// Sketch enables the sketch sink: constant-memory quantile summaries
+	// of per-session poll/slot costs plus exemplar sessions, published on
+	// /slo and as obs_session_* summary metrics.
+	Sketch bool
 }
 
 // RegisterFlags registers the plane's flags on fs (the cmds pass
@@ -40,13 +44,14 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.FlightDir, "flight", "", "enable the flight recorder: dump FLIGHT_<n>.jsonl of recent events into this directory on every anomaly")
 	fs.IntVar(&c.FlightSize, "flight-size", DefaultFlightSize, "flight-recorder ring capacity (events)")
 	fs.StringVar(&c.SLOSpec, "slo", "", "SLO health rules evaluated on the live verdict stream, e.g. maxpolls=96,maxslots=288,minacc=0.99,window=1000")
+	fs.BoolVar(&c.Sketch, "sketch", false, "summarize per-session poll/slot costs as constant-memory quantile sketches (on /slo, /metrics and the exit report)")
 }
 
 // Enabled reports whether any part of the plane was requested. Serving
 // cmds should OR this with their -metrics-addr flag: the /events and
 // /slo endpoints need a bus even when no local sink is on.
 func (c Config) Enabled() bool {
-	return c.Log || c.LogJSON || c.FlightDir != "" || c.SLOSpec != ""
+	return c.Log || c.LogJSON || c.FlightDir != "" || c.SLOSpec != "" || c.Sketch
 }
 
 // Plane is one cmd's assembled observability plane. Nil is a valid
@@ -55,6 +60,8 @@ type Plane struct {
 	bus      *Bus
 	recorder *FlightRecorder
 	slo      *SLO
+	sketch   *SketchSink
+	dropped  *metrics.Counter
 }
 
 // Build assembles the plane from the parsed flags: the bus, the
@@ -85,6 +92,15 @@ func (c Config) Build(w io.Writer, reg *metrics.Registry, force bool) (*Plane, e
 		}
 		p.slo = NewSLO(rules, window, p.bus)
 		p.bus.Subscribe(p.slo)
+	}
+	if c.Sketch {
+		p.sketch = NewSketchSink(reg)
+		p.bus.Subscribe(p.sketch)
+	}
+	if reg != nil {
+		p.dropped = reg.Counter(MetricEventsDropped)
+	} else {
+		p.dropped = &metrics.Counter{}
 	}
 	if reg != nil {
 		counters := countersFor(reg)
@@ -133,6 +149,23 @@ func (p *Plane) Recorder() *FlightRecorder {
 	return p.recorder
 }
 
+// Sketches returns the sketch sink, nil when disabled.
+func (p *Plane) Sketches() *SketchSink {
+	if p == nil {
+		return nil
+	}
+	return p.sketch
+}
+
+// EventsDropped returns the SSE drop counter, nil on a nil plane. Every
+// event a slow /events client misses increments it.
+func (p *Plane) EventsDropped() *metrics.Counter {
+	if p == nil {
+		return nil
+	}
+	return p.dropped
+}
+
 // Summary renders the plane's exit report: flight dumps written and SLO
 // rule states. Empty when there is nothing to say.
 func (p *Plane) Summary() string {
@@ -147,6 +180,9 @@ func (p *Plane) Summary() string {
 				fmt.Fprintf(&b, "  %s\n", d)
 			}
 		}
+	}
+	if p.sketch != nil {
+		b.WriteString(p.sketch.Summary())
 	}
 	if p.slo != nil {
 		rep := p.slo.Report()

@@ -244,11 +244,19 @@ type RuleReport struct {
 	Healthy  bool    `json:"healthy"`
 }
 
-// Report is the /slo endpoint's JSON body.
+// Report is the /slo endpoint's JSON body. EventsDropped and Sketches
+// are filled by the serving handler, not the engine: dropped-event
+// counts come from the SSE clients and sketches from the sketch sink.
 type Report struct {
 	Healthy  bool         `json:"healthy"`
 	Verdicts uint64       `json:"verdicts"`
 	Rules    []RuleReport `json:"rules"`
+	// EventsDropped totals bus events dropped toward slow /events
+	// clients since startup.
+	EventsDropped uint64 `json:"events_dropped"`
+	// Sketches is the sketch sink's cost-distribution snapshot, absent
+	// when the sink is disabled.
+	Sketches *SketchReport `json:"sketches,omitempty"`
 }
 
 // Report snapshots every rule's state.

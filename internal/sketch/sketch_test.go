@@ -1,0 +1,381 @@
+package sketch_test
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"tcast/internal/rng"
+	"tcast/internal/sketch"
+	"tcast/internal/stats"
+)
+
+// adversarialInputs builds the distributions the rank-error bound is
+// checked against: constant (every value in one bucket), bimodal (a gap
+// the sketch must not interpolate across), and heavy-tailed (Pareto-ish,
+// exercising many decades of buckets).
+func adversarialInputs(n int) map[string][]float64 {
+	r := rng.New(0xa11ce)
+	constant := make([]float64, n)
+	bimodal := make([]float64, n)
+	heavy := make([]float64, n)
+	zeros := make([]float64, n)
+	for i := 0; i < n; i++ {
+		constant[i] = 42
+		if i%3 == 0 {
+			bimodal[i] = 2
+		} else {
+			bimodal[i] = 5000
+		}
+		// Pareto(alpha=1.2) via inverse CDF on a uniform in (0,1).
+		u := (float64(r.Uint64()>>11) + 0.5) / (1 << 53)
+		heavy[i] = math.Pow(u, -1/1.2)
+		if i%7 == 0 {
+			zeros[i] = 0
+		} else {
+			zeros[i] = float64(i % 97)
+		}
+	}
+	return map[string][]float64{
+		"constant": constant,
+		"bimodal":  bimodal,
+		"heavy":    heavy,
+		"zeroes":   zeros,
+	}
+}
+
+// TestQuantileRankError checks the DDSketch guarantee: the estimate at p
+// is within relative error alpha of the true order statistic at rank
+// floor(p*(n-1)) (compared against both neighbors of the fractional
+// rank, since stats.Quantiles interpolates).
+func TestQuantileRankError(t *testing.T) {
+	const n = 20000
+	const alpha = 0.01
+	for name, sample := range adversarialInputs(n) {
+		t.Run(name, func(t *testing.T) {
+			q := sketch.NewQuantile(alpha)
+			for _, v := range sample {
+				q.Observe(v)
+			}
+			sorted := append([]float64(nil), sample...)
+			sort.Float64s(sorted)
+			for _, p := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+				got := q.Value(p)
+				pos := p * float64(n-1)
+				lo := sorted[int(math.Floor(pos))]
+				hi := sorted[int(math.Ceil(pos))]
+				// Accept the estimate if it is within alpha of either
+				// neighboring order statistic.
+				const slack = 1e-12
+				okAgainst := func(want float64) bool {
+					return math.Abs(got-want) <= alpha*math.Abs(want)+slack
+				}
+				if !okAgainst(lo) && !okAgainst(hi) {
+					t.Errorf("p=%v: got %v, want within %v%% of [%v, %v]", p, got, alpha*100, lo, hi)
+				}
+			}
+			// Cross-check the exact path: stats.Quantiles at a p landing
+			// exactly on an integer rank must agree within alpha.
+			exact := stats.Quantiles(sample, 0.5)
+			est := q.Value(0.5)
+			pos := 0.5 * float64(n-1)
+			if pos == math.Trunc(pos) {
+				if math.Abs(est-exact[0]) > alpha*math.Abs(exact[0])+1e-12 {
+					t.Errorf("median: sketch %v vs exact %v exceeds %v%%", est, exact[0], alpha*100)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantileMergeAlgebra verifies Merge is exactly associative and
+// commutative: any merge tree over the same parts yields byte-identical
+// summaries.
+func TestQuantileMergeAlgebra(t *testing.T) {
+	inputs := adversarialInputs(3000)
+	parts := make([]*sketch.Quantile, 0, len(inputs))
+	names := make([]string, 0, len(inputs))
+	for name := range inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		q := sketch.NewQuantile(0.01)
+		for _, v := range inputs[name] {
+			q.Observe(v)
+		}
+		parts = append(parts, q)
+	}
+
+	mergeAll := func(order []int, tree bool) string {
+		if tree {
+			// ((a+b)+(c+d)) shape.
+			left := sketch.NewQuantile(0.01)
+			left.Merge(parts[order[0]])
+			left.Merge(parts[order[1]])
+			right := sketch.NewQuantile(0.01)
+			right.Merge(parts[order[2]])
+			right.Merge(parts[order[3]])
+			left.Merge(right)
+			return left.String()
+		}
+		acc := sketch.NewQuantile(0.01)
+		for _, i := range order {
+			acc.Merge(parts[i])
+		}
+		return acc.String()
+	}
+
+	want := mergeAll([]int{0, 1, 2, 3}, false)
+	for _, order := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		if got := mergeAll(order, false); got != want {
+			t.Errorf("commutativity: order %v summary differs\n got: %q\nwant: %q", order, got, want)
+		}
+	}
+	if got := mergeAll([]int{0, 1, 2, 3}, true); got != want {
+		t.Errorf("associativity: tree merge summary differs\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestQuantileWorkerIndependence mimics the experiment harness: trial i
+// lands on worker i%W; each worker observes into a private sketch, and
+// the per-worker sketches merge in worker order. The rendered summary
+// must be byte-identical for every worker count.
+func TestQuantileWorkerIndependence(t *testing.T) {
+	sample := adversarialInputs(5000)["heavy"]
+	render := func(workers int) string {
+		shards := make([]*sketch.Quantile, workers)
+		moms := make([]sketch.Moments, workers)
+		for w := range shards {
+			shards[w] = sketch.NewQuantile(0.01)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(sample); i += workers {
+					shards[w].Observe(sample[i])
+					moms[w].Observe(sample[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := sketch.NewQuantile(0.01)
+		for _, s := range shards {
+			total.Merge(s)
+		}
+		return total.String()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 3, 4, 8} {
+		if got := render(workers); got != want {
+			t.Errorf("workers=%d: summary differs from serial\n got: %q\nwant: %q", workers, got, want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	q := sketch.NewQuantile(0)
+	if q.Alpha() != sketch.DefaultAlpha {
+		t.Fatalf("default alpha = %v, want %v", q.Alpha(), sketch.DefaultAlpha)
+	}
+	q.Observe(math.NaN())
+	if q.Count() != 0 {
+		t.Fatalf("NaN observed: count %d", q.Count())
+	}
+	q.ObserveN(3, 0)
+	if q.Count() != 0 {
+		t.Fatalf("zero-weight observed: count %d", q.Count())
+	}
+	q.Observe(-5)
+	q.Observe(0)
+	q.Observe(5)
+	if got := q.Value(0); math.Abs(got+5) > 0.06 {
+		t.Errorf("min quantile %v, want ~-5", got)
+	}
+	if got := q.Value(0.5); got != 0 {
+		t.Errorf("median %v, want 0", got)
+	}
+	if got := q.Value(1); math.Abs(got-5) > 0.06 {
+		t.Errorf("max quantile %v, want ~5", got)
+	}
+	if got := q.Buckets(); got != 3 {
+		t.Errorf("buckets %d, want 3", got)
+	}
+	q.Reset()
+	if q.Count() != 0 || q.Buckets() != 0 {
+		t.Fatalf("reset left count=%d buckets=%d", q.Count(), q.Buckets())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Errorf("empty-sketch quantile did not panic")
+		}
+	}()
+	q.Value(0.5)
+}
+
+// TestQuantileConstantFootprint pins the tentpole claim: bucket count is
+// bounded by the value range's decades, not the observation count.
+func TestQuantileConstantFootprint(t *testing.T) {
+	q := sketch.NewQuantile(0.01)
+	r := rng.New(7)
+	for i := 0; i < 200000; i++ {
+		q.ObserveN(float64(1+r.Intn(100000)), 1)
+	}
+	// log_gamma(1e5) ≈ ln(1e5)/ln(1.0202) ≈ 576 buckets max.
+	if got := q.Buckets(); got > 600 {
+		t.Errorf("buckets %d for 2e5 observations over [1,1e5]; footprint not constant", got)
+	}
+}
+
+func TestMomentsMergeMatchesSerial(t *testing.T) {
+	sample := adversarialInputs(4000)["heavy"]
+	var serial sketch.Moments
+	for _, v := range sample {
+		serial.Observe(v)
+	}
+	var a, b, c sketch.Moments
+	for i, v := range sample {
+		switch i % 3 {
+		case 0:
+			a.Observe(v)
+		case 1:
+			b.Observe(v)
+		default:
+			c.Observe(v)
+		}
+	}
+	merged := a
+	merged.Merge(b)
+	merged.Merge(c)
+	if merged.N != serial.N || merged.Min != serial.Min || merged.Max != serial.Max {
+		t.Fatalf("merge n/min/max mismatch: %+v vs %+v", merged, serial)
+	}
+	relClose := func(got, want float64) bool {
+		return math.Abs(got-want) <= 1e-9*math.Max(math.Abs(want), 1)
+	}
+	if !relClose(merged.Mean(), serial.Mean()) {
+		t.Errorf("merged mean %v vs serial %v", merged.Mean(), serial.Mean())
+	}
+	if !relClose(merged.Variance(), serial.Variance()) {
+		t.Errorf("merged variance %v vs serial %v", merged.Variance(), serial.Variance())
+	}
+	// Cross-check variance against stats.Running, the repo's exact path.
+	var run stats.Running
+	for _, v := range sample {
+		run.Observe(v)
+	}
+	if !relClose(serial.Variance(), run.Variance()) {
+		t.Errorf("moments variance %v vs stats.Running %v", serial.Variance(), run.Variance())
+	}
+}
+
+func TestMomentsEmptyAndReset(t *testing.T) {
+	var m sketch.Moments
+	if m.Mean() != 0 || m.Variance() != 0 || m.Stddev() != 0 {
+		t.Fatalf("empty moments not zeroed: %+v", m)
+	}
+	var other sketch.Moments
+	other.Observe(3)
+	m.Merge(other)
+	if m.N != 1 || m.Min != 3 || m.Max != 3 {
+		t.Fatalf("merge into empty: %+v", m)
+	}
+	m.Reset()
+	if m.N != 0 || m.Sum != 0 {
+		t.Fatalf("reset: %+v", m)
+	}
+}
+
+func TestReservoirDeterministicTopK(t *testing.T) {
+	offers := make([]sketch.Exemplar, 100)
+	for i := range offers {
+		offers[i] = sketch.Exemplar{Key: uint64(i), Weight: float64(1 + i%10), Value: float64(i), Label: "t"}
+	}
+	fill := func(order []int) string {
+		r := sketch.NewReservoir(8)
+		for _, i := range order {
+			r.Offer(offers[i])
+		}
+		return r.String()
+	}
+	asc := make([]int, len(offers))
+	desc := make([]int, len(offers))
+	for i := range asc {
+		asc[i] = i
+		desc[i] = len(offers) - 1 - i
+	}
+	if a, d := fill(asc), fill(desc); a != d {
+		t.Errorf("offer order changed reservoir contents\n asc: %q\ndesc: %q", a, d)
+	}
+
+	// Merge of shards equals the single reservoir over the union.
+	shardA := sketch.NewReservoir(8)
+	shardB := sketch.NewReservoir(8)
+	for i, ex := range offers {
+		if i%2 == 0 {
+			shardA.Offer(ex)
+		} else {
+			shardB.Offer(ex)
+		}
+	}
+	shardA.Merge(shardB)
+	if got, want := shardA.String(), fill(asc); got != want {
+		t.Errorf("merged shards differ from union\n got: %q\nwant: %q", got, want)
+	}
+
+	// Re-offering a key updates in place without growing.
+	r := sketch.NewReservoir(4)
+	r.Offer(sketch.Exemplar{Key: 1, Weight: 2, Value: 10})
+	r.Offer(sketch.Exemplar{Key: 1, Weight: 2, Value: 20})
+	if r.Len() != 1 {
+		t.Fatalf("duplicate key grew reservoir to %d", r.Len())
+	}
+	if got := r.Exemplars()[0].Value; got != 20 {
+		t.Errorf("re-offer kept stale value %v", got)
+	}
+}
+
+func TestReservoirWeightBias(t *testing.T) {
+	// With many light items and a few very heavy ones, the heavy keys
+	// should dominate the retained set.
+	r := sketch.NewReservoir(10)
+	heavy := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		w := 1.0
+		if i%100 == 0 {
+			w = 1e6
+			heavy[i] = true
+		}
+		r.Offer(sketch.Exemplar{Key: i, Weight: w})
+	}
+	kept := 0
+	for _, ex := range r.Exemplars() {
+		if heavy[ex.Key] {
+			kept++
+		}
+	}
+	if kept < 9 {
+		t.Errorf("only %d/10 heavy exemplars retained", kept)
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 4096; i++ {
+		h := sketch.Hash64(i)
+		if seen[h] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[h] = true
+	}
+	if sketch.HashString("a") == sketch.HashString("b") {
+		t.Fatalf("string hash collision")
+	}
+	if sketch.HashString("") == sketch.HashString("a") {
+		t.Fatalf("empty string hash equals non-empty")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Running accumulates streaming mean and variance using Welford's
@@ -125,21 +126,37 @@ func (r *Running) String() string {
 		r.n, r.Mean(), r.CI95(), r.StdDev(), r.min, r.max)
 }
 
+// sampleSorts counts copy-and-sort passes made by the quantile helpers.
+// It exists so a regression test can pin the cost model: Quantile pays
+// one sort per call, Quantiles one sort total — callers needing several
+// quantiles of one sample must not pay per-quantile sorts.
+var sampleSorts atomic.Uint64
+
+// sortedCopy is the single choke point for quantile sorting: one copy,
+// one sort, one counter tick.
+func sortedCopy(sample []float64) []float64 {
+	sampleSorts.Add(1)
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	return sorted
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of the sample using
 // linear interpolation between order statistics. The input need not be
 // sorted; a sorted copy is made. It panics on an empty sample or a q
 // outside [0, 1].
+//
+// Each call copies and sorts the sample: O(n log n) per quantile. For
+// several quantiles of one sample use Quantiles (one sort), and for
+// large or streaming samples use SeriesSummary (no sort at all).
 func Quantile(sample []float64, q float64) float64 {
-	sorted := append([]float64(nil), sample...)
-	sort.Float64s(sorted)
-	return quantileSorted(sorted, q)
+	return quantileSorted(sortedCopy(sample), q)
 }
 
 // Quantiles returns several quantiles of one sample, sorting a single
 // copy once — the input is never mutated, matching Quantile.
 func Quantiles(sample []float64, qs ...float64) []float64 {
-	sorted := append([]float64(nil), sample...)
-	sort.Float64s(sorted)
+	sorted := sortedCopy(sample)
 	out := make([]float64, len(qs))
 	for i, q := range qs {
 		out[i] = quantileSorted(sorted, q)

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tcast/internal/sketch"
+)
+
+// SeriesSummary is the constant-memory alternative to collecting a full
+// sample slice and calling Quantiles on it: streaming moments plus a
+// mergeable relative-error quantile sketch. Memory is bounded by the
+// sketch's bucket span regardless of how many values are observed, so a
+// million-trial sweep summarizes in a few kilobytes instead of 8 MB of
+// float64s, and per-worker summaries merge exactly (worker-count
+// independent bucket counts).
+//
+// Quantile estimates carry the sketch's relative-error bound (alpha,
+// default 1%) instead of the exact interpolated order statistics the
+// slice path produces; mean/CI/min/max remain exact.
+type SeriesSummary struct {
+	Moments sketch.Moments
+	Q       *sketch.Quantile
+}
+
+// NewSeriesSummary returns an empty summary with the given sketch
+// accuracy; non-positive alpha selects sketch.DefaultAlpha.
+func NewSeriesSummary(alpha float64) *SeriesSummary {
+	return &SeriesSummary{Q: sketch.NewQuantile(alpha)}
+}
+
+// Observe folds one value into the summary.
+func (s *SeriesSummary) Observe(v float64) {
+	s.Moments.Observe(v)
+	s.Q.Observe(v)
+}
+
+// N returns the number of observations.
+func (s *SeriesSummary) N() int { return int(s.Moments.N) }
+
+// Mean returns the exact running mean.
+func (s *SeriesSummary) Mean() float64 { return s.Moments.Mean() }
+
+// CI95 returns the 95% confidence half-width on the mean, using the
+// same Student-t small-sample correction as Running.
+func (s *SeriesSummary) CI95() float64 {
+	n := s.Moments.N
+	df := int(n) - 1
+	if df < 1 {
+		return 0
+	}
+	se := s.Moments.Stddev() / math.Sqrt(float64(n))
+	if df <= len(tCrit95) {
+		return tCrit95[df-1] * se
+	}
+	return 1.96 * se
+}
+
+// Quantile returns the sketch's p-quantile estimate (relative error
+// bounded by the sketch alpha). It panics on an empty summary.
+func (s *SeriesSummary) Quantile(p float64) float64 { return s.Q.Value(p) }
+
+// Quantiles returns several quantile estimates.
+func (s *SeriesSummary) Quantiles(ps ...float64) []float64 { return s.Q.Values(ps...) }
+
+// Merge folds other into s as if s had observed other's values.
+func (s *SeriesSummary) Merge(other *SeriesSummary) {
+	if other == nil {
+		return
+	}
+	s.Moments.Merge(other.Moments)
+	s.Q.Merge(other.Q)
+}
+
+// Reset empties the summary, keeping the sketch's bucket capacity.
+func (s *SeriesSummary) Reset() {
+	s.Moments.Reset()
+	s.Q.Reset()
+}
+
+// Point renders the summary as a series point at the given X: exact
+// mean, exact CI95, exact trial count.
+func (s *SeriesSummary) Point(x float64) Point {
+	return Point{X: x, Y: s.Mean(), Err: s.CI95(), N: s.N()}
+}
+
+// String summarizes mean, CI, and the p50/p90/p99 sketch estimates.
+func (s *SeriesSummary) String() string {
+	if s.N() == 0 {
+		return "n=0"
+	}
+	qs := s.Quantiles(0.5, 0.9, 0.99)
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.3f ±%.3f min=%.3f max=%.3f p50=%.3f p90=%.3f p99=%.3f",
+		s.N(), s.Mean(), s.CI95(), s.Moments.Min, s.Moments.Max, qs[0], qs[1], qs[2])
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"tcast/internal/rng"
+)
+
+// TestQuantilesSingleSort is the regression test for the quantile cost
+// model: Quantiles must sort exactly once regardless of how many
+// quantiles it returns, while three Quantile calls pay three sorts.
+func TestQuantilesSingleSort(t *testing.T) {
+	sample := make([]float64, 1000)
+	r := rng.New(11)
+	for i := range sample {
+		sample[i] = float64(r.Intn(1 << 20))
+	}
+
+	before := sampleSorts.Load()
+	multi := Quantiles(sample, 0.5, 0.9, 0.99)
+	if got := sampleSorts.Load() - before; got != 1 {
+		t.Fatalf("Quantiles(3 qs) performed %d sorts, want 1", got)
+	}
+
+	before = sampleSorts.Load()
+	single := []float64{Quantile(sample, 0.5), Quantile(sample, 0.9), Quantile(sample, 0.99)}
+	if got := sampleSorts.Load() - before; got != 3 {
+		t.Fatalf("3×Quantile performed %d sorts, want 3", got)
+	}
+	for i := range multi {
+		if multi[i] != single[i] {
+			t.Fatalf("Quantiles[%d]=%v != Quantile=%v", i, multi[i], single[i])
+		}
+	}
+}
+
+// TestQuantilesAllocations pins the allocation budget: one sorted copy
+// plus one result slice for Quantiles, versus a fresh copy per Quantile
+// call.
+func TestQuantilesAllocations(t *testing.T) {
+	sample := make([]float64, 512)
+	for i := range sample {
+		sample[i] = float64((i * 7919) % 997)
+	}
+	multi := testing.AllocsPerRun(50, func() {
+		Quantiles(sample, 0.5, 0.9, 0.99)
+	})
+	if multi > 2 {
+		t.Errorf("Quantiles allocates %v per run, want <= 2 (copy + result)", multi)
+	}
+	per := testing.AllocsPerRun(50, func() {
+		Quantile(sample, 0.5)
+		Quantile(sample, 0.9)
+		Quantile(sample, 0.99)
+	})
+	if per < 3 {
+		t.Errorf("3×Quantile allocates %v per run; the copy-per-call cost model changed, update the docs", per)
+	}
+}
+
+func TestSeriesSummaryMatchesExact(t *testing.T) {
+	const n = 10000
+	sample := make([]float64, n)
+	r := rng.New(23)
+	for i := range sample {
+		sample[i] = float64(1 + r.Intn(5000))
+	}
+	s := NewSeriesSummary(0.01)
+	var run Running
+	for _, v := range sample {
+		s.Observe(v)
+		run.Observe(v)
+	}
+	if s.N() != run.N() {
+		t.Fatalf("n: %d vs %d", s.N(), run.N())
+	}
+	if math.Abs(s.Mean()-run.Mean()) > 1e-9*run.Mean() {
+		t.Errorf("mean: %v vs %v", s.Mean(), run.Mean())
+	}
+	if math.Abs(s.CI95()-run.CI95()) > 1e-9*run.CI95() {
+		t.Errorf("ci95: %v vs %v", s.CI95(), run.CI95())
+	}
+	if s.Moments.Min != run.Min() || s.Moments.Max != run.Max() {
+		t.Errorf("min/max: %v/%v vs %v/%v", s.Moments.Min, s.Moments.Max, run.Min(), run.Max())
+	}
+	exact := Quantiles(sample, 0.5, 0.9, 0.99)
+	est := s.Quantiles(0.5, 0.9, 0.99)
+	for i := range exact {
+		if rel := math.Abs(est[i]-exact[i]) / exact[i]; rel > 0.011 {
+			t.Errorf("q[%d]: sketch %v vs exact %v (rel %v)", i, est[i], exact[i], rel)
+		}
+	}
+	p := s.Point(3)
+	if p.X != 3 || p.Y != s.Mean() || p.Err != s.CI95() || p.N != n {
+		t.Errorf("point: %+v", p)
+	}
+}
+
+func TestSeriesSummaryMergeWorkerIndependent(t *testing.T) {
+	sample := make([]float64, 4000)
+	r := rng.New(5)
+	for i := range sample {
+		sample[i] = float64(r.Intn(1000))
+	}
+	serial := NewSeriesSummary(0.01)
+	for _, v := range sample {
+		serial.Observe(v)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		shards := make([]*SeriesSummary, workers)
+		for w := range shards {
+			shards[w] = NewSeriesSummary(0.01)
+			for i := w; i < len(sample); i += workers {
+				shards[w].Observe(sample[i])
+			}
+		}
+		merged := NewSeriesSummary(0.01)
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		if merged.Q.String() != serial.Q.String() {
+			t.Errorf("workers=%d: sketch bytes differ from serial", workers)
+		}
+		if merged.N() != serial.N() {
+			t.Errorf("workers=%d: n %d vs %d", workers, merged.N(), serial.N())
+		}
+		if math.Abs(merged.Mean()-serial.Mean()) > 1e-9 {
+			t.Errorf("workers=%d: mean %v vs %v", workers, merged.Mean(), serial.Mean())
+		}
+	}
+	empty := NewSeriesSummary(0.01)
+	if empty.String() != "n=0" {
+		t.Errorf("empty string: %q", empty.String())
+	}
+	empty.Merge(nil)
+	empty.Merge(serial)
+	if empty.N() != serial.N() {
+		t.Errorf("merge into empty: n %d", empty.N())
+	}
+	empty.Reset()
+	if empty.N() != 0 || empty.Q.Count() != 0 {
+		t.Errorf("reset left n=%d", empty.N())
+	}
+}

@@ -23,9 +23,15 @@ type PhaseStat struct {
 type Analysis struct {
 	Phases [NumSpanKinds]PhaseStat
 	// Polls and NodesPolled total the poll leaves: the paper's query
-	// cost and listener-energy proxy.
+	// cost and listener-energy proxy. On a sampled trace (leaves carry
+	// AttrSampleRate) each recorded leaf stands for its rate's worth of
+	// polls, so these are inverse-rate-scaled estimates of the true
+	// totals; SampledPolls counts the leaves actually present.
 	Polls       int
 	NodesPolled int
+	// SampledPolls is the number of poll leaves recorded in the trace;
+	// equal to Polls on an unsampled trace.
+	SampledPolls int
 	// Span totals and the virtual extent of the whole trace.
 	Spans int
 	Slots int64
@@ -49,10 +55,17 @@ func Analyze(t *Trace) Analysis {
 			}
 			ph.SelfSlots += self
 			if sp.Kind == KindPoll {
-				a.Polls++
+				a.SampledPolls++
+				scale := 1
+				if v, ok := sp.Attr(AttrSampleRate); ok {
+					if k, err := strconv.Atoi(v); err == nil && k > 1 {
+						scale = k
+					}
+				}
+				a.Polls += scale
 				if v, ok := sp.Attr("bin_size"); ok {
 					if n, err := strconv.Atoi(v); err == nil {
-						a.NodesPolled += n
+						a.NodesPolled += scale * n
 					}
 				}
 			}
@@ -74,7 +87,12 @@ func (a Analysis) Render() string {
 		}
 		fmt.Fprintf(&b, "%-12s %8d %12d %12d\n", ph.Kind, ph.Spans, ph.Slots, ph.SelfSlots)
 	}
-	fmt.Fprintf(&b, "total: %d spans over %d virtual slots; %d polls, %d node-polls (energy proxy)\n",
-		a.Spans, a.Slots, a.Polls, a.NodesPolled)
+	if a.SampledPolls != a.Polls {
+		fmt.Fprintf(&b, "total: %d spans over %d virtual slots; ~%d polls (est. from %d sampled), ~%d node-polls (energy proxy)\n",
+			a.Spans, a.Slots, a.Polls, a.SampledPolls, a.NodesPolled)
+	} else {
+		fmt.Fprintf(&b, "total: %d spans over %d virtual slots; %d polls, %d node-polls (energy proxy)\n",
+			a.Spans, a.Slots, a.Polls, a.NodesPolled)
+	}
 	return b.String()
 }

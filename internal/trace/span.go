@@ -283,6 +283,13 @@ type SpanQuerier struct {
 
 	slots     slotCounter
 	lastSlots int
+
+	// Head-rate poll sampling (see SetSampling): record one poll leaf in
+	// sampleEvery, chosen by a splitmix hash of (sampleKey, session name,
+	// poll index). 0 and 1 record every poll.
+	sampleEvery int
+	sampleKey   uint64
+	sessionKey  uint64
 }
 
 // NewSpanQuerier wraps q, emitting spans into b.
@@ -311,6 +318,9 @@ func (s *SpanQuerier) StartSession(name string, attrs ...Attr) {
 	s.session = s.b.Begin(KindSession, name)
 	s.session.SetAttr(attrs...)
 	s.polls, s.nodes = 0, 0
+	if s.sampleEvery > 1 {
+		s.sessionKey = hash64(s.sampleKey ^ hashString(name))
+	}
 }
 
 // TraceRound implements the algorithms' round hook: it closes the open
@@ -328,7 +338,10 @@ func (s *SpanQuerier) TraceRound(round int) {
 }
 
 // Query implements query.Querier: forward the poll, then emit its leaf
-// span and advance the virtual clock by its slot cost.
+// span and advance the virtual clock by its slot cost. Under sampling
+// (SetSampling) unsampled polls still advance the clock and the session
+// counters — only the leaf span is elided — so round/session widths and
+// the session's polls/nodes_polled attributes stay exact.
 func (s *SpanQuerier) Query(bin []int) query.Response {
 	resp := s.q.Query(bin)
 	adv := int64(1)
@@ -337,16 +350,23 @@ func (s *SpanQuerier) Query(bin []int) query.Response {
 		adv = int64(now - s.lastSlots)
 		s.lastSlots = now
 	}
-	sp := s.b.Begin(KindPoll, "poll "+strconv.Itoa(s.polls))
-	s.b.Advance(adv)
-	sp.SetAttr(
-		IntAttr("bin_size", len(bin)),
-		StringAttr("kind", resp.Kind.String()),
-	)
-	if resp.Kind == query.Decoded {
-		sp.SetAttr(IntAttr("decoded_id", resp.DecodedID))
+	if s.sampled() {
+		sp := s.b.Begin(KindPoll, "poll "+strconv.Itoa(s.polls))
+		s.b.Advance(adv)
+		sp.SetAttr(
+			IntAttr("bin_size", len(bin)),
+			StringAttr("kind", resp.Kind.String()),
+		)
+		if resp.Kind == query.Decoded {
+			sp.SetAttr(IntAttr("decoded_id", resp.DecodedID))
+		}
+		if s.sampleEvery > 1 {
+			sp.SetAttr(IntAttr(AttrSampleRate, s.sampleEvery))
+		}
+		s.b.End()
+	} else {
+		s.b.Advance(adv)
 	}
-	s.b.End()
 	s.polls++
 	s.nodes += len(bin)
 	return resp
