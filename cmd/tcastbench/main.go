@@ -120,7 +120,7 @@ func main() {
 		threshold   = flag.Float64("threshold", 1.10, "ns/op ratio above which a benchmark counts as regressed")
 		allocGate   = flag.String("allocgate", "query-2tbins", "also gate allocs/op for benchmarks whose name contains this substring (empty disables)")
 		allocThresh = flag.Float64("allocthreshold", 1.10, "allocs/op ratio above which a gated benchmark counts as regressed")
-		memGate     = flag.String("memgate", "query-2tbins-scale", "also gate bytes/op for benchmarks whose name contains this substring (empty disables)")
+		memGate     = flag.String("memgate", "query-2tbins-s", "also gate bytes/op for benchmarks whose name contains this substring (empty disables; the default covers the telemetry-scale trio and the bare sparse pair)")
 		memThresh   = flag.Float64("memthreshold", 1.25, "bytes/op ratio above which a gated benchmark counts as regressed")
 		input       = flag.String("input", "", "compare this BENCH.json against -baseline instead of running")
 		list        = flag.Bool("list", false, "list benchmark names and exit")
@@ -381,6 +381,10 @@ func figureRuns(id string) int {
 		return 1
 	case "ext-multihop":
 		return 2
+	case "ext-scale":
+		// The sweep's trial budget is already clamped internally by N; one
+		// run keeps the 10^7 point to a single session per iteration.
+		return 1
 	}
 	if strings.HasPrefix(id, "abl-") || strings.HasPrefix(id, "ext-") {
 		return 10
@@ -439,6 +443,7 @@ func benches(faultSpec string) []bench {
 		packetBench(),
 	)
 	out = append(out, scaleBenches()...)
+	out = append(out, sparseBenches()...)
 	return out
 }
 

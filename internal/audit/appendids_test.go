@@ -1,0 +1,23 @@
+package audit
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAppendIDsPreservesPrefix: AppendIDs sorts only the appended run,
+// matching the ascending order of the candidate-set iterators.
+func TestAppendIDsPreservesPrefix(t *testing.T) {
+	nl := newNodeLedgers(100)
+	for _, id := range []int{42, 7, 99, 7, 0} {
+		nl.ledgerFor(id)
+	}
+	got := nl.AppendIDs([]int{-5, -1})
+	want := []int{-5, -1, 0, 7, 42, 99}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendIDs = %v, want %v", got, want)
+	}
+	if ids := nl.IDs(); !reflect.DeepEqual(ids, []int{0, 7, 42, 99}) {
+		t.Fatalf("IDs = %v", ids)
+	}
+}

@@ -94,12 +94,23 @@ func (nl NodeLedgers) Len() int { return len(nl.touched) }
 
 // IDs returns the touched node ids in ascending order.
 func (nl NodeLedgers) IDs() []int {
-	ids := make([]int, 0, len(nl.touched))
+	return nl.AppendIDs(make([]int, 0, len(nl.touched)))
+}
+
+// AppendIDs appends the touched node ids to dst in ascending order and
+// returns the extended slice — the allocation-free form for pooled
+// report paths. The appended run matches the order every idset iterator
+// (AppendMembers, ForEach, the ranked snapshot) yields ids in, so audit
+// reports line up positionally with candidate-set walks at any scale.
+// Only the appended portion is sorted; dst's existing contents are
+// untouched.
+func (nl NodeLedgers) AppendIDs(dst []int) []int {
+	start := len(dst)
 	for _, slot := range nl.touched {
-		ids = append(ids, nl.entries[slot].id)
+		dst = append(dst, nl.entries[slot].id)
 	}
-	sort.Ints(ids)
-	return ids
+	sort.Ints(dst[start:])
+	return dst
 }
 
 // Dense materializes the account as one ledger per node — the dense

@@ -42,31 +42,58 @@ func (a *Arena) RandomPartition(members []int, b int, r *rng.Source) [][]int {
 		panic("binning: bin count must be positive")
 	}
 	n := len(members)
-	if cap(a.buf) < n {
-		a.buf = make([]int, n)
-	}
-	shuffled := a.buf[:n]
-	copy(shuffled, members)
-	r.ShuffleInts(shuffled)
-
+	a.buf = shuffleMembers(a.buf, members, r)
 	if cap(a.bins) < b {
 		a.bins = make([][]int, b)
 	}
 	bins := a.bins[:b]
-	// The first n%b bins receive ceil(n/b) nodes, the rest floor(n/b);
-	// bins beyond n stay empty and come last.
-	base := n / b
-	extra := n % b
-	pos := 0
 	for i := 0; i < b; i++ {
-		size := base
-		if i < extra {
-			size++
-		}
-		bins[i] = shuffled[pos : pos+size]
-		pos += size
+		lo, hi := chunkBounds(n, b, i)
+		bins[i] = a.buf[lo:hi]
 	}
 	return bins
+}
+
+// shuffleMembers is the one shared draw loop behind every random
+// partition in this package — binning.RandomPartition, Arena pooling,
+// and the Streamer's shuffled mode all route through it, which is the
+// draw-order contract the pooled-vs-fresh and streamed-vs-materialized
+// property tests pin:
+//
+//   - exactly max(0, len(members)-1) Intn draws are consumed — the
+//     Fisher-Yates sequence of rng.ShuffleInts, swap index i descending
+//     from len-1 — and nothing else;
+//   - the shuffle acts on a copy, so the caller's member order is never
+//     observed or disturbed.
+//
+// The shuffled members land in buf (grown as needed) and the resized
+// buffer is returned for reuse.
+func shuffleMembers(buf, members []int, r *rng.Source) []int {
+	n := len(members)
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	copy(buf, members)
+	r.ShuffleInts(buf)
+	return buf
+}
+
+// chunkBounds returns the half-open range [lo, hi) of shuffled positions
+// bin i covers when n members split into b bins: the first n%b bins get
+// ceil(n/b) members, the rest floor(n/b), and bins beyond n are empty —
+// which places them last, so early termination never pays for them
+// (Section IV-C). Every partitioner in this package — materialized or
+// streamed — derives its bin extents from this one rule.
+func chunkBounds(n, b, i int) (lo, hi int) {
+	base := n / b
+	extra := n % b
+	lo = i*base + min(i, extra)
+	hi = lo + base
+	if i < extra {
+		hi++
+	}
+	return lo, hi
 }
 
 // DeterministicPartition splits members into b contiguous chunks without

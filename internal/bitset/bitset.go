@@ -155,6 +155,12 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// Words exposes the backing word array (bit i of word w is element
+// w*64+i). Callers must treat it as read-only; it is how the rank/select
+// directory snapshots a set without re-deriving membership element by
+// element.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Members returns the elements in ascending order.
 func (s *Set) Members() []int {
 	return s.AppendMembers(make([]int, 0, s.count))

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"tcast/internal/binning"
+	"tcast/internal/idset"
 	"tcast/internal/query"
 	"tcast/internal/rng"
 )
@@ -70,8 +71,12 @@ type Arena struct {
 // t, drawing its state from the arena when one is supplied (a nil arena
 // allocates fresh state, preserving Run's historical behaviour).
 func newSession(a *Arena, q query.Querier, n, t int, r *rng.Source, strategy binning.Strategy) *session {
+	// Fields at or above the sparse cutover stream their rounds instead
+	// of materializing partitions; a custom strategy keeps the classic
+	// materialized path, since Strategy's contract is a [][]int.
+	streamed := strategy == nil && n >= idset.SparseCutover
 	if a == nil {
-		return &session{q: q, k: query.NewKnowledge(n, t), r: r, custom: strategy}
+		return &session{q: q, k: query.NewKnowledge(n, t), r: r, custom: strategy, streamed: streamed}
 	}
 	if a.k == nil {
 		a.k = query.NewKnowledge(n, t)
@@ -80,6 +85,7 @@ func newSession(a *Arena, q query.Querier, n, t int, r *rng.Source, strategy bin
 	}
 	s := &a.sess
 	s.q, s.k, s.r, s.custom = q, a.k, r, strategy
+	s.streamed = streamed
 	s.res = Result{}
 	return s
 }
@@ -98,6 +104,17 @@ type session struct {
 	// probeBuf is ProbABNS's reused probabilistic-bin buffer.
 	probeBuf []int
 	res      Result
+	// streamed selects the sparse round path for fields at or above
+	// idset.SparseCutover: rounds draw bins one at a time from a keyed
+	// permutation (binning.Streamer) against a frozen rank directory of
+	// the candidates (idset.Ranked), so per-round cost is O(candidates)
+	// with no O(n) shuffle scratch. Below the cutover the classic
+	// materialized path runs, keeping its draw sequence — and every
+	// committed figure — byte-identical.
+	streamed bool
+	stream   binning.Streamer
+	ranked   idset.Ranked
+	binBuf   []int
 }
 
 // partition splits the current candidates into b bins, returning only the
@@ -159,10 +176,55 @@ func (s *session) runRound(b int) roundOutcome {
 	if b < 1 {
 		b = 1
 	}
+	if s.streamed {
+		return s.runRoundStreamed(b)
+	}
 	bins := s.partition(b)
 	s.k.StartRound()
 	var out roundOutcome
 	for _, bin := range bins {
+		resp, decided := s.queryBin(bin)
+		out.queried++
+		if resp.Kind == query.Empty {
+			out.emptyBins++
+		}
+		if decided {
+			out.decided = true
+			return out
+		}
+	}
+	return out
+}
+
+// runRoundStreamed is runRound's sparse-field body: the candidates are
+// frozen into a rank directory, one 64-bit key replaces the Fisher-Yates
+// shuffle, and each bin is decoded rank-by-rank into one pooled buffer
+// just-in-time for its poll. The querier still receives a materialized
+// []int per poll — bins must stay concrete for the middleware stack
+// (metrics, trace, audit, faults all account bin members) — but only one
+// bin exists at a time, so a round's footprint is O(n/b), not O(n).
+// Candidate eliminations during the round do not affect the partition:
+// like the classic path, bins are drawn against the set as it stood at
+// round start (the snapshot), while Apply shrinks the live set.
+func (s *session) runRoundStreamed(b int) roundOutcome {
+	// Late-session compaction: once a huge field is mostly eliminated
+	// (idset's compaction rule), snapshots and membership sweeps drop to
+	// O(|candidates|). No-op below the cutover or while still dense.
+	s.k.Candidates.Compact()
+	s.ranked.Snapshot(s.k.Candidates)
+	s.stream.StartPermuted(s.ranked.Len(), b, s.r.Uint64())
+	s.k.StartRound()
+	var out roundOutcome
+	if s.ranked.Len() == 0 {
+		// Mirror the classic path: no members, nothing polled.
+		return out
+	}
+	for i := 0; i < b; i++ {
+		bin := s.stream.AppendBin(i, s.binBuf[:0])
+		for j, rank := range bin {
+			bin[j] = s.ranked.Select(rank)
+		}
+		s.binBuf = bin
 		resp, decided := s.queryBin(bin)
 		out.queried++
 		if resp.Kind == query.Empty {

@@ -58,7 +58,8 @@ func TestMeanParallelCountsAllRuns(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"abl-capture", "abl-variants", "ext-battery", "ext-count",
-		"ext-energy", "ext-faults", "ext-kplus", "ext-multihop", "ext-time",
+		"ext-energy", "ext-faults", "ext-kplus", "ext-multihop", "ext-scale",
+		"ext-time",
 		"fig1",
 		"fig10", "fig11", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "tab-acc", "tab-err",

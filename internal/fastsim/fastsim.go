@@ -11,7 +11,11 @@
 package fastsim
 
 import (
+	"sort"
+	"sync/atomic"
+
 	"tcast/internal/bitset"
+	"tcast/internal/idset"
 	"tcast/internal/query"
 	"tcast/internal/rng"
 	"tcast/internal/trace"
@@ -31,14 +35,24 @@ type CaptureModel func(k int) float64
 // O(k) loop would perform — so the returned values are bit-identical to
 // the loop's — and the model is evaluated on every group poll, so the
 // table lookup keeps the query hot path O(1). Superpositions beyond the
-// table (k > 64 simultaneous frames) fall back to extending the product;
-// beta^63 already underflows any realistic capture probability.
+// table (k > 64 simultaneous frames, the dense mega-bins of scaled-up
+// fields) extend the product once and memoize the extension, so repeated
+// oversized polls stay O(1) too. The extension is published through an
+// atomic pointer because one model instance (defaultCapture) is shared
+// by every parallel trial worker: growth is copy-on-write, values are
+// deterministic products of beta, and a racing publish of a shorter
+// table merely wastes a future re-extension — the returned values are
+// identical either way. beta^63 already underflows any realistic capture
+// probability, so the extension is precision-moot but keeps the model
+// exact.
 func GeometricCapture(beta float64) CaptureModel {
 	var pow [64]float64
 	pow[0] = 1
 	for i := 1; i < len(pow); i++ {
 		pow[i] = pow[i-1] * beta
 	}
+	// ext holds beta^64, beta^65, ... — the memoized continuation of pow.
+	var ext atomic.Pointer[[]float64]
 	return func(k int) float64 {
 		if k <= 1 {
 			return 1
@@ -46,11 +60,27 @@ func GeometricCapture(beta float64) CaptureModel {
 		if k-1 < len(pow) {
 			return pow[k-1]
 		}
-		p := pow[len(pow)-1]
-		for i := len(pow); i < k; i++ {
-			p *= beta
+		need := k - len(pow) // entries beyond the table: exponents 64..k-1
+		cur := ext.Load()
+		if cur != nil && len(*cur) >= need {
+			return (*cur)[need-1]
 		}
-		return p
+		// Extend by the same successive multiplication the fallback loop
+		// performed, continuing from the last memoized value.
+		var grown []float64
+		p := pow[len(pow)-1]
+		if cur != nil {
+			grown = append(grown, *cur...)
+			p = grown[len(grown)-1]
+		}
+		for len(grown) < need {
+			p *= beta
+			grown = append(grown, p)
+		}
+		if latest := ext.Load(); latest == nil || len(*latest) < len(grown) {
+			ext.Store(&grown)
+		}
+		return grown[need-1]
 	}
 }
 
@@ -134,6 +164,26 @@ type Channel struct {
 	binSet *bitset.Set
 	// sampleBuf and idxBuf are ResetRandom's reused sampling buffers.
 	sampleBuf, idxBuf []int
+	// posIDs mirrors positives as a sorted ID slice — the sparse side of
+	// the poll fast path. With d = |positives| ≪ words(n), counting a
+	// rendered bin against d ids beats the word-parallel sweep; see
+	// queryLossless. It is snapshotted at construction/reset, which is
+	// sound because the positive set is fixed for a session's lifetime.
+	posIDs []int
+}
+
+// samplePositives draws x distinct positives over [0, n): the dense
+// partial-Fisher-Yates sampler below idset.SparseCutover — bit-identical
+// to the historical Sample call, so every committed figure is unchanged —
+// and Floyd's sparse sampler at or above it, where the dense sampler's
+// length-n scratch (80 MB at N=10^7) would dominate a trial's footprint.
+// Both RandomPositives and ResetRandom route through here, so pooled and
+// fresh channels always draw the same sequence.
+func samplePositives(n, x int, r *rng.Source, dst, idx []int) (out, scratch []int) {
+	if n >= idset.SparseCutover {
+		return r.AppendSampleSparse(n, x, dst[:0]), idx
+	}
+	return r.SampleInto(n, x, dst, idx)
 }
 
 // TxStats counts the radio work a session caused — the energy side of the
@@ -156,18 +206,21 @@ func New(n int, positives []int, cfg Config, r *rng.Source) *Channel {
 }
 
 // NewFromSet is like New but takes ownership of an existing positive set.
+// The membership is snapshotted; the caller must not mutate the set
+// afterwards (PositiveSet documents the same).
 func NewFromSet(positives *bitset.Set, cfg Config, r *rng.Source) *Channel {
 	if cfg.Capture == nil {
 		cfg.Capture = defaultCapture
 	}
-	return &Channel{positives: positives, cfg: cfg, r: r}
+	return &Channel{positives: positives, cfg: cfg, r: r, posIDs: positives.Members()}
 }
 
 // RandomPositives draws x distinct positive nodes out of n uniformly at
 // random and returns the channel plus the chosen set.
 func RandomPositives(n, x int, cfg Config, r *rng.Source) (*Channel, *bitset.Set) {
 	set := bitset.New(n)
-	for _, id := range r.Sample(n, x) {
+	ids, _ := samplePositives(n, x, r, nil, nil)
+	for _, id := range ids {
 		set.Add(id)
 	}
 	return NewFromSet(set, cfg, r), set
@@ -175,7 +228,8 @@ func RandomPositives(n, x int, cfg Config, r *rng.Source) (*Channel, *bitset.Set
 
 // ResetRandom reinitializes the channel in place for a fresh trial: the
 // positive set is redrawn exactly as RandomPositives draws it (the same
-// Sample call on r, so pooled and fresh channels are bit-identical), the
+// samplePositives sequence on r, so pooled and fresh channels are
+// bit-identical), the
 // transmission ledger is zeroed, and every internal buffer is recycled.
 // Pooled trial state calls ResetRandom between trials instead of
 // allocating a new channel.
@@ -188,10 +242,12 @@ func (c *Channel) ResetRandom(n, x int, cfg Config, r *rng.Source) {
 	} else {
 		c.positives.Reset(n)
 	}
-	c.sampleBuf, c.idxBuf = r.SampleInto(n, x, c.sampleBuf, c.idxBuf)
+	c.sampleBuf, c.idxBuf = samplePositives(n, x, r, c.sampleBuf, c.idxBuf)
 	for _, id := range c.sampleBuf {
 		c.positives.Add(id)
 	}
+	c.posIDs = append(c.posIDs[:0], c.sampleBuf...)
+	sort.Ints(c.posIDs)
 	c.cfg = cfg
 	c.r = r
 	c.stats = TxStats{}
@@ -294,32 +350,57 @@ func (c *Channel) Query(bin []int) query.Response {
 
 // queryLossless is the MissProb == 0 fast path: no reply can be missed, so
 // heard would equal the bin's positives in bin order and the response
-// depends only on k = |bin ∩ positives|. Large bins are rendered into the
-// reused bin bitset with branch-free word stores and counted word-parallel
-// against the positives words (IntersectionCount); small bins — the common
-// case once a session is past its opening rounds — skip the render and
-// count membership directly, which profiles faster below a few elements
-// per word. The decoded replier — uniform over heard in the slow path — is
-// selected by drawing the same Intn(k) index and scanning the bin for its
-// j-th positive, which is exactly heard[j]. Either way k is exact, so the
-// RNG draw sequence matches the slow path's bit for bit.
+// depends only on k = |bin ∩ positives|. Counting picks the cheapest of
+// three shapes:
+//
+//   - small bins (the common case once a session is past its opening
+//     rounds) scan the bin against the positive bitset, collecting the
+//     hits — O(|bin|), no render;
+//   - large bins render into the reused bin bitset, then count by
+//     whichever side is smaller: with d = |positives| below the word
+//     count, probing the d sorted positive ids against the rendered bin
+//     is O(d) where the word sweep is O(n/64) — the min(|bin|, d) side
+//     selection that matters at sparse scale — and otherwise the
+//     word-parallel IntersectionCount runs exactly as before.
+//
+// The decoded replier — uniform over heard in the slow path — comes from
+// the same Intn(k) draw: directly as hits[j] when the small-bin scan
+// collected the hits (they are in bin order, exactly heard), else by
+// scanning the bin for its j-th positive, which is exactly heard[j].
+// Either way k is exact and the selection order is the bin order, so
+// responses and the RNG draw sequence match the slow path's bit for bit
+// at every population — decode events are rare (at most one per decoded
+// response), so the rendered paths never pay the scan in steady state.
 func (c *Channel) queryLossless(bin []int) query.Response {
 	c.stats.Polls++
+	hits := c.heard[:0]
+	collected := true
 	var k int
-	if len(bin) >= 4*((c.positives.Cap()+63)/64) {
+	if words := (c.positives.Cap() + 63) / 64; len(bin) < 4*words {
+		for _, id := range bin {
+			if c.positives.Contains(id) {
+				hits = append(hits, id)
+			}
+		}
+		k = len(hits)
+	} else {
 		if c.binSet == nil || c.binSet.Cap() != c.positives.Cap() {
 			c.binSet = bitset.New(c.positives.Cap())
 		}
 		c.binSet.AddAll(bin)
-		k = c.binSet.IntersectionCount(c.positives)
-		c.binSet.Clear()
-	} else {
-		for _, id := range bin {
-			if c.positives.Contains(id) {
-				k++
+		if len(c.posIDs) < words {
+			for _, id := range c.posIDs {
+				if c.binSet.Contains(id) {
+					k++
+				}
 			}
+		} else {
+			k = c.binSet.IntersectionCount(c.positives)
 		}
+		collected = false
+		c.binSet.Clear()
 	}
+	c.heard = hits
 	c.stats.Replies += k
 	if k == 0 {
 		if c.cfg.FalseActiveProb > 0 && c.r.Bernoulli(c.cfg.FalseActiveProb) {
@@ -336,6 +417,9 @@ func (c *Channel) queryLossless(bin []int) query.Response {
 	}
 	if c.r.Bernoulli(c.cfg.Capture(k)) {
 		j := c.r.Intn(k)
+		if collected {
+			return query.Response{Kind: query.Decoded, DecodedID: hits[j]}
+		}
 		for _, id := range bin {
 			if c.positives.Contains(id) {
 				if j == 0 {

@@ -1,0 +1,348 @@
+// Package idset provides the ID-set substrate the query layers share: a
+// set of node identifiers in [0, n) behind one small interface, with two
+// interchangeable representations.
+//
+// The dense form is a bitset word array — the right shape for the paper's
+// own populations (hundreds of nodes), where whole-set sweeps and
+// word-parallel intersections dominate. The sparse form is a sorted ID
+// slice — the right shape late in a million-node session, when a handful
+// of candidates survive out of 10^7 and every O(n/64) word scan would
+// dwarf the real work. Hybrid owns both backings and switches between
+// them under an explicit cutover rule, so callers (query.Knowledge, the
+// audit shadow ledger, the streamed partitioner) never branch on the
+// representation themselves.
+//
+// Representation never leaks into randomness: members enumerate in
+// ascending order in either form, so every figure table produced below
+// the cutover is byte-identical to the dense-only code this package
+// replaced.
+package idset
+
+import (
+	"tcast/internal/bitset"
+)
+
+const (
+	// SparseCutover is the population size at which the scale machinery
+	// (sparse sampling, streamed partitions, hybrid compaction) switches
+	// on. Every paper-scale experiment (N ≤ 1024) sits far below it, so
+	// their RNG draw sequences — and therefore all committed figure
+	// tables, traces and audit dumps — are bit-identical to the
+	// pre-hybrid code. Above it the dense O(n) scratch paths would
+	// dominate wall clock and bytes, so callers stream instead.
+	SparseCutover = 1 << 14
+
+	// compactLimit is the cardinality at which a huge hybrid set folds
+	// its dense words down to the sorted-slice form: 4096 ids (32 KiB)
+	// against ≥ SparseCutover/64 words keeps the fold amortized — a set
+	// only compacts after eliminating ≥ 75% of a cutover-sized field.
+	compactLimit = 4096
+)
+
+// Set is the representation-agnostic contract shared by both forms.
+// Members are integers in [0, Cap()); enumeration is always ascending.
+type Set interface {
+	// Cap returns the universe size n the set ranges over.
+	Cap() int
+	// Len returns the number of members.
+	Len() int
+	// Contains reports membership; out-of-range ids are simply absent.
+	Contains(id int) bool
+	// Add inserts id (a no-op when present). It panics out of range.
+	Add(id int)
+	// Remove deletes id (a no-op when absent).
+	Remove(id int)
+	// AppendMembers appends the members in ascending order to dst.
+	AppendMembers(dst []int) []int
+	// ForEach calls f for every member in ascending order.
+	ForEach(f func(id int))
+}
+
+// Dense is the bitset-backed form. The zero value is an empty set over
+// the empty universe; Reset re-targets it.
+type Dense struct {
+	bitset.Set
+}
+
+// NewDense returns an empty dense set over [0, n).
+func NewDense(n int) *Dense {
+	d := &Dense{}
+	d.Reset(n)
+	return d
+}
+
+// Add inserts id, adapting bitset's value signature to the Set contract.
+func (d *Dense) Add(id int) { d.Set.Add(id) }
+
+// Bits exposes the underlying bitset for word-parallel callers (the
+// fastsim intersection fast path). Mutating it mutates the set.
+func (d *Dense) Bits() *bitset.Set { return &d.Set }
+
+// Sparse is the sorted-slice form: ids ascending, no duplicates. The
+// zero value is an empty set over the empty universe.
+type Sparse struct {
+	n   int
+	ids []int
+}
+
+// NewSparse returns an empty sparse set over [0, n).
+func NewSparse(n int) *Sparse {
+	return &Sparse{n: n}
+}
+
+// Cap returns the universe size.
+func (s *Sparse) Cap() int { return s.n }
+
+// Len returns the number of members.
+func (s *Sparse) Len() int { return len(s.ids) }
+
+// Reset empties the set and re-targets it at [0, n), keeping the backing
+// slice.
+func (s *Sparse) Reset(n int) {
+	if n < 0 {
+		panic("idset: negative capacity")
+	}
+	s.n = n
+	s.ids = s.ids[:0]
+}
+
+// search returns the insertion index of id (sort.SearchInts, open-coded
+// so the hot membership test stays free of interface calls).
+func (s *Sparse) search(id int) int {
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Contains reports membership by binary search.
+func (s *Sparse) Contains(id int) bool {
+	i := s.search(id)
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// Add inserts id in sorted position. It panics out of range.
+func (s *Sparse) Add(id int) {
+	if id < 0 || id >= s.n {
+		panic("idset: element out of range")
+	}
+	i := s.search(id)
+	if i < len(s.ids) && s.ids[i] == id {
+		return
+	}
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = id
+}
+
+// Remove deletes id; absent ids are a no-op.
+func (s *Sparse) Remove(id int) {
+	i := s.search(id)
+	if i >= len(s.ids) || s.ids[i] != id {
+		return
+	}
+	s.ids = append(s.ids[:i], s.ids[i+1:]...)
+}
+
+// AppendMembers appends the members in ascending order.
+func (s *Sparse) AppendMembers(dst []int) []int {
+	return append(dst, s.ids...)
+}
+
+// ForEach calls f for every member in ascending order.
+func (s *Sparse) ForEach(f func(id int)) {
+	for _, id := range s.ids {
+		f(id)
+	}
+}
+
+// Hybrid is the adaptive set: dense words until a huge universe has been
+// whittled down far enough that the sorted-slice form wins, sparse
+// afterwards. Both backings persist across Reset so pooled sessions
+// reuse them allocation-free. Not safe for concurrent use.
+type Hybrid struct {
+	dense  Dense
+	sparse Sparse
+	// isSparse selects the live backing. Sets over universes below
+	// SparseCutover never leave the dense form.
+	isSparse bool
+}
+
+// NewHybrid returns an empty hybrid set over [0, n) in dense form.
+func NewHybrid(n int) *Hybrid {
+	h := &Hybrid{}
+	h.Reset(n)
+	return h
+}
+
+// FullHybrid returns the hybrid set {0, ..., n-1}.
+func FullHybrid(n int) *Hybrid {
+	h := NewHybrid(n)
+	h.Fill()
+	return h
+}
+
+// Reset empties the set, re-targets it at [0, n), and returns to the
+// dense form, recycling both backings. A reset hybrid is
+// indistinguishable from NewHybrid(n) whatever state it was in.
+func (h *Hybrid) Reset(n int) {
+	h.dense.Reset(n)
+	h.sparse.Reset(n)
+	h.isSparse = false
+}
+
+// Fill sets the membership to the full universe {0, ..., n-1}. A full
+// set is by definition dense, so Fill always lands in dense form.
+func (h *Hybrid) Fill() {
+	if h.isSparse {
+		h.sparse.ids = h.sparse.ids[:0]
+		h.isSparse = false
+	}
+	h.dense.Fill()
+}
+
+// Cap returns the universe size.
+func (h *Hybrid) Cap() int {
+	if h.isSparse {
+		return h.sparse.Cap()
+	}
+	return h.dense.Cap()
+}
+
+// Len returns the number of members.
+func (h *Hybrid) Len() int {
+	if h.isSparse {
+		return h.sparse.Len()
+	}
+	return h.dense.Len()
+}
+
+// Empty reports whether the set has no members.
+func (h *Hybrid) Empty() bool { return h.Len() == 0 }
+
+// Contains reports membership.
+func (h *Hybrid) Contains(id int) bool {
+	if h.isSparse {
+		return h.sparse.Contains(id)
+	}
+	return h.dense.Contains(id)
+}
+
+// Add inserts id. It panics out of range.
+func (h *Hybrid) Add(id int) {
+	if h.isSparse {
+		h.sparse.Add(id)
+		return
+	}
+	h.dense.Add(id)
+}
+
+// Remove deletes id; absent ids are a no-op.
+func (h *Hybrid) Remove(id int) {
+	if h.isSparse {
+		h.sparse.Remove(id)
+		return
+	}
+	h.dense.Remove(id)
+}
+
+// AppendMembers appends the members in ascending order to dst.
+func (h *Hybrid) AppendMembers(dst []int) []int {
+	if h.isSparse {
+		return h.sparse.AppendMembers(dst)
+	}
+	return h.dense.AppendMembers(dst)
+}
+
+// Members returns the members in ascending order.
+func (h *Hybrid) Members() []int {
+	return h.AppendMembers(make([]int, 0, h.Len()))
+}
+
+// ForEach calls f for every member in ascending order.
+func (h *Hybrid) ForEach(f func(id int)) {
+	if h.isSparse {
+		h.sparse.ForEach(f)
+		return
+	}
+	h.dense.ForEach(f)
+}
+
+// Compact folds a huge, mostly-eliminated dense set down to the sorted
+// slice form, and reports whether the set is sparse afterwards. The rule
+// is deliberately one-way within a session: universes below SparseCutover
+// never compact (their dense words are already tiny), and a compacted set
+// only returns to dense form through Reset/Fill. Streamed callers invoke
+// it once per round; the fold itself is O(n/64) and happens at most once
+// per session.
+func (h *Hybrid) Compact() bool {
+	if h.isSparse {
+		return true
+	}
+	if h.dense.Cap() < SparseCutover || h.dense.Len() > compactLimit {
+		return false
+	}
+	h.sparse.Reset(h.dense.Cap())
+	h.sparse.ids = h.dense.AppendMembers(h.sparse.ids[:0])
+	h.isSparse = true
+	return true
+}
+
+// IsSparse reports which form is live (observability and tests).
+func (h *Hybrid) IsSparse() bool { return h.isSparse }
+
+// IntersectionCount returns |h ∩ s| for a dense bitset over the same
+// universe: word-parallel popcounts in dense form, one membership probe
+// per member in sparse form — the sparse side is at most compactLimit
+// ids by construction, so either way the cost tracks the smaller
+// operand, never the universe.
+func (h *Hybrid) IntersectionCount(s *bitset.Set) int {
+	if !h.isSparse {
+		return h.dense.Set.IntersectionCount(s)
+	}
+	k := 0
+	for _, id := range h.sparse.ids {
+		if s.Contains(id) {
+			k++
+		}
+	}
+	return k
+}
+
+// Equal reports whether h and o contain exactly the same members over
+// the same universe, whatever forms they are in.
+func (h *Hybrid) Equal(o *Hybrid) bool {
+	if h.Cap() != o.Cap() || h.Len() != o.Len() {
+		return false
+	}
+	if !h.isSparse && !o.isSparse {
+		return h.dense.Set.Equal(&o.dense.Set)
+	}
+	eq := true
+	i, b := 0, other(o)
+	h.ForEach(func(id int) {
+		if eq && b(i) != id {
+			eq = false
+		}
+		i++
+	})
+	return eq
+}
+
+// other returns an index-addressable view of o's members for Equal's
+// merge walk; the sparse form indexes directly, the dense form walks
+// alongside via AppendMembers into a scratch (Equal is a test-path
+// helper, not a hot path).
+func other(o *Hybrid) func(i int) int {
+	if o.isSparse {
+		return func(i int) int { return o.sparse.ids[i] }
+	}
+	ids := o.Members()
+	return func(i int) int { return ids[i] }
+}

@@ -1,0 +1,268 @@
+package idset
+
+import (
+	"testing"
+
+	"tcast/internal/bitset"
+	"tcast/internal/rng"
+)
+
+// model is the reference implementation both forms are checked against.
+type model map[int]bool
+
+func (m model) members(n int) []int {
+	var out []int
+	for id := 0; id < n; id++ {
+		if m[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestFormsAgree drives Dense, Sparse and Hybrid through the same random
+// mutation script and checks every observable against the map model.
+func TestFormsAgree(t *testing.T) {
+	const n, steps = 300, 2000
+	r := rng.New(7)
+	sets := []Set{NewDense(n), NewSparse(n), NewHybrid(n)}
+	m := model{}
+	for step := 0; step < steps; step++ {
+		id := r.Intn(n)
+		if r.Bernoulli(0.5) {
+			m[id] = true
+			for _, s := range sets {
+				s.Add(id)
+			}
+		} else {
+			delete(m, id)
+			for _, s := range sets {
+				s.Remove(id)
+			}
+		}
+		probe := r.Intn(n)
+		want := m.members(n)
+		for _, s := range sets {
+			if s.Len() != len(want) {
+				t.Fatalf("step %d: %T Len=%d want %d", step, s, s.Len(), len(want))
+			}
+			if s.Contains(probe) != m[probe] {
+				t.Fatalf("step %d: %T Contains(%d)=%v want %v", step, s, probe, s.Contains(probe), m[probe])
+			}
+			got := s.AppendMembers(nil)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: %T members %v want %v", step, s, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: %T members %v want %v", step, s, got, want)
+				}
+			}
+			i := 0
+			s.ForEach(func(id int) {
+				if want[i] != id {
+					t.Fatalf("step %d: %T ForEach yields %d at %d, want %d", step, s, id, i, want[i])
+				}
+				i++
+			})
+		}
+	}
+}
+
+func TestSparseAddRemoveEdges(t *testing.T) {
+	s := NewSparse(10)
+	for _, id := range []int{5, 1, 9, 0, 5} { // duplicate Add is a no-op
+		s.Add(id)
+	}
+	if got := s.AppendMembers(nil); len(got) != 4 || got[0] != 0 || got[3] != 9 {
+		t.Fatalf("members = %v", got)
+	}
+	s.Remove(4) // absent: no-op
+	s.Remove(0)
+	s.Remove(9)
+	if got := s.AppendMembers(nil); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("members after removes = %v", got)
+	}
+	if s.Contains(10) || s.Contains(-1) {
+		t.Fatal("out-of-range ids reported present")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add did not panic")
+		}
+	}()
+	s.Add(10)
+}
+
+// TestHybridCompact: compaction fires only above the cutover and below
+// the cardinality limit, preserves membership exactly, and Reset/Fill
+// return the set to dense form.
+func TestHybridCompact(t *testing.T) {
+	small := FullHybrid(128)
+	if small.Compact() {
+		t.Fatal("sub-cutover set compacted")
+	}
+
+	n := SparseCutover
+	h := FullHybrid(n)
+	if h.Compact() {
+		t.Fatal("full set compacted despite cardinality above limit")
+	}
+	// Eliminate everything but a scattered residue.
+	keep := map[int]bool{0: true, 63: true, 64: true, n - 1: true, 12345: true}
+	for id := 0; id < n; id++ {
+		if !keep[id] {
+			h.Remove(id)
+		}
+	}
+	if !h.Compact() {
+		t.Fatal("residue set did not compact")
+	}
+	if !h.IsSparse() {
+		t.Fatal("compacted set not sparse")
+	}
+	if h.Len() != len(keep) {
+		t.Fatalf("Len=%d want %d", h.Len(), len(keep))
+	}
+	for id := range keep {
+		if !h.Contains(id) {
+			t.Fatalf("compacted set lost %d", id)
+		}
+	}
+	// Mutations keep working in sparse form.
+	h.Remove(63)
+	h.Add(999)
+	if h.Contains(63) || !h.Contains(999) {
+		t.Fatal("sparse-form mutation failed")
+	}
+	// Fill returns to dense.
+	h.Fill()
+	if h.IsSparse() || h.Len() != n {
+		t.Fatalf("Fill: sparse=%v len=%d", h.IsSparse(), h.Len())
+	}
+	// Reset from sparse form returns to dense and empties.
+	h.Remove(0)
+	for id := 0; id < n; id++ {
+		if id != 7 {
+			h.Remove(id)
+		}
+	}
+	h.Compact()
+	h.Reset(64)
+	if h.IsSparse() || h.Len() != 0 || h.Cap() != 64 {
+		t.Fatalf("Reset: sparse=%v len=%d cap=%d", h.IsSparse(), h.Len(), h.Cap())
+	}
+}
+
+func TestHybridEqualAcrossForms(t *testing.T) {
+	n := SparseCutover
+	mk := func() *Hybrid {
+		h := FullHybrid(n)
+		for id := 0; id < n; id++ {
+			if id%1000 != 0 {
+				h.Remove(id)
+			}
+		}
+		return h
+	}
+	a, b := mk(), mk()
+	if !a.Equal(b) {
+		t.Fatal("identical dense sets not Equal")
+	}
+	b.Compact()
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("dense/sparse forms of the same membership not Equal")
+	}
+	a.Compact()
+	if !a.Equal(b) {
+		t.Fatal("sparse/sparse not Equal")
+	}
+	b.Remove(0)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("differing sets reported Equal")
+	}
+}
+
+// TestRankedSelect checks the rank/select directory against a linear
+// scan, over both forms and across word-boundary patterns.
+func TestRankedSelect(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range []int{1, 63, 64, 65, 200, 1000, SparseCutover + 130} {
+		h := NewHybrid(n)
+		var want []int
+		for id := 0; id < n; id++ {
+			if r.Bernoulli(0.13) {
+				h.Add(id)
+				want = append(want, id)
+			}
+		}
+		check := func(form string) {
+			var rk Ranked
+			rk.Snapshot(h)
+			if rk.Len() != len(want) {
+				t.Fatalf("n=%d %s: Len=%d want %d", n, form, rk.Len(), len(want))
+			}
+			for k, id := range want {
+				if got := rk.Select(k); got != id {
+					t.Fatalf("n=%d %s: Select(%d)=%d want %d", n, form, k, got, id)
+				}
+			}
+		}
+		check("dense")
+		if h.Cap() >= SparseCutover && h.Len() <= compactLimit {
+			h.Compact()
+			check("sparse")
+		}
+	}
+}
+
+// TestRankedSnapshotIsFrozen: mutating the source after Snapshot must not
+// change the view — rounds partition the set as it stood at round start.
+func TestRankedSnapshotIsFrozen(t *testing.T) {
+	h := FullHybrid(130)
+	var rk Ranked
+	rk.Snapshot(h)
+	h.Remove(0)
+	h.Remove(129)
+	if rk.Len() != 130 || rk.Select(0) != 0 || rk.Select(129) != 129 {
+		t.Fatal("snapshot tracked later mutations")
+	}
+}
+
+func TestRankedSelectOutOfRange(t *testing.T) {
+	h := FullHybrid(8)
+	var rk Ranked
+	rk.Snapshot(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select(8) on 8 members did not panic")
+		}
+	}()
+	rk.Select(8)
+}
+
+// TestHybridIntersectionCount: both forms count against a dense bitset
+// identically.
+func TestHybridIntersectionCount(t *testing.T) {
+	n := SparseCutover
+	h := FullHybrid(n)
+	for id := 0; id < n; id++ {
+		if id%7 != 0 {
+			h.Remove(id)
+		}
+	}
+	probe := bitset.New(n)
+	for id := 0; id < n; id += 21 {
+		probe.Add(id)
+	}
+	want := h.IntersectionCount(probe)
+	if want == 0 {
+		t.Fatal("degenerate probe")
+	}
+	if !h.Compact() {
+		t.Fatal("setup: set did not compact")
+	}
+	if got := h.IntersectionCount(probe); got != want {
+		t.Fatalf("sparse IntersectionCount = %d, dense said %d", got, want)
+	}
+}

@@ -1,0 +1,94 @@
+package idset
+
+import "math/bits"
+
+// Ranked is a frozen rank/select directory over one Hybrid snapshot: it
+// answers Select(k) — the k-th member in ascending order — in O(1)-ish
+// time, which is what the streamed partitioner needs to turn permuted
+// member ranks back into node ids without materializing the member
+// slice. The zero value is empty; Snapshot re-targets it, reusing its
+// buffers, so a pooled session can re-snapshot every round without
+// allocating once warmed.
+//
+// A Ranked view is a copy: mutating the source set after Snapshot does
+// not affect it. That is exactly the partition contract — a round's bins
+// are drawn against the candidate set as it stood when the round began,
+// even though Apply shrinks the live set mid-round.
+type Ranked struct {
+	sparse bool
+	// ids is the sparse snapshot: members in ascending order.
+	ids []int
+	// words/sums are the dense snapshot: the bitset words plus a prefix
+	// count directory, sums[i] = number of members in words[:i].
+	words []uint64
+	sums  []int32
+	n     int
+}
+
+// Snapshot freezes the current membership of h into rk.
+func (rk *Ranked) Snapshot(h *Hybrid) {
+	rk.n = h.Len()
+	if h.isSparse {
+		rk.sparse = true
+		rk.ids = append(rk.ids[:0], h.sparse.ids...)
+		return
+	}
+	rk.sparse = false
+	rk.words = append(rk.words[:0], h.dense.Set.Words()...)
+	if cap(rk.sums) < len(rk.words)+1 {
+		rk.sums = make([]int32, len(rk.words)+1)
+	}
+	rk.sums = rk.sums[:len(rk.words)+1]
+	var total int32
+	for i, w := range rk.words {
+		rk.sums[i] = total
+		total += int32(bits.OnesCount64(w))
+	}
+	rk.sums[len(rk.words)] = total
+}
+
+// Len returns the number of members in the snapshot.
+func (rk *Ranked) Len() int { return rk.n }
+
+// Select returns the k-th member (0-based) in ascending order. It panics
+// if k is out of [0, Len()).
+func (rk *Ranked) Select(k int) int {
+	if k < 0 || k >= rk.n {
+		panic("idset: Select rank out of range")
+	}
+	if rk.sparse {
+		return rk.ids[k]
+	}
+	// Find the word holding the k-th set bit: binary search the prefix
+	// directory, then select within the word byte by byte.
+	lo, hi := 0, len(rk.words)-1
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if int(rk.sums[mid]) <= k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	w := lo
+	r := k - int(rk.sums[w])
+	word := rk.words[w]
+	base := w * 64
+	for {
+		c := bits.OnesCount8(uint8(word))
+		if r < c {
+			b := uint8(word)
+			for {
+				t := bits.TrailingZeros8(b)
+				if r == 0 {
+					return base + t
+				}
+				b &= b - 1
+				r--
+			}
+		}
+		r -= c
+		word >>= 8
+		base += 8
+	}
+}

@@ -3,7 +3,7 @@ package query
 import (
 	"fmt"
 
-	"tcast/internal/bitset"
+	"tcast/internal/idset"
 )
 
 // Knowledge is the initiator's bookkeeping during a threshold-query
@@ -21,8 +21,14 @@ import (
 // identified node is removed from the candidate set and keeps counting
 // toward t in later rounds.
 type Knowledge struct {
-	// Candidates holds nodes whose predicate value is still unknown.
-	Candidates *bitset.Set
+	// Candidates holds nodes whose predicate value is still unknown. The
+	// hybrid set keeps the ledger representation-agnostic: dense bitset
+	// words at paper scale, the sorted-slice form once a huge field has
+	// been mostly eliminated (idset.Hybrid.Compact). Every operation the
+	// ledger performs — membership, removal, cardinality, ascending
+	// enumeration — costs the same or less in either form, so
+	// UpperBound, Apply and Reset never branch on representation.
+	Candidates *idset.Hybrid
 	// Confirmed counts positives identified by 2+ decodes. Confirmed
 	// nodes are no longer candidates.
 	Confirmed int
@@ -50,8 +56,11 @@ func (k *Knowledge) Reset(n, t int) {
 		panic("query: negative threshold")
 	}
 	if k.Candidates == nil {
-		k.Candidates = bitset.Full(n)
+		k.Candidates = idset.FullHybrid(n)
 	} else {
+		// Reset re-targets whatever representation the last session left
+		// behind — including a different field size in either direction —
+		// and Fill lands it back in dense form.
 		k.Candidates.Reset(n)
 		k.Candidates.Fill()
 	}

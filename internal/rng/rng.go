@@ -203,6 +203,42 @@ func (r *Source) Sample(n, k int) []int {
 	return out
 }
 
+// AppendSampleSparse draws k distinct values uniformly from [0, n) with
+// Floyd's algorithm — k Intn draws and O(k) space, no length-n scratch —
+// and appends them to dst. This is the sampler for huge sparse fields
+// (populations at or above idset.SparseCutover), where SampleInto's
+// dense index array would dominate a trial's footprint. The appended
+// values are a uniformly random k-subset, but in Floyd's insertion order
+// rather than Sample's uniformly random order; callers that consume the
+// values as a set (the positive-set draw) are unaffected. Duplicate
+// checks scan the appended prefix, so cost is O(k^2) worst case — the
+// k ≪ n regime this serves keeps that trivial. It panics if k is out of
+// [0, n].
+func (r *Source) AppendSampleSparse(n, k int, dst []int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample called with k out of range")
+	}
+	start := len(dst)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		dup := false
+		for _, v := range dst[start:] {
+			if v == t {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			// t was already drawn; Floyd's invariant says j itself is
+			// still free, and choosing it keeps the subset uniform.
+			dst = append(dst, j)
+		} else {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
 // SampleInto is Sample with caller-owned buffers: the k results land in
 // dst (grown as needed) and idx is the length-n scratch for the partial
 // Fisher-Yates pass. It returns the result slice and the scratch for

@@ -1,0 +1,64 @@
+package rng
+
+import "testing"
+
+// TestSampleSparseProperty: every draw is a k-subset of [0, n) with no
+// repeats, deterministic in the stream, and appended after dst's
+// existing contents.
+func TestSampleSparseProperty(t *testing.T) {
+	r := New(42)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(50) + 1
+		k := r.Intn(n + 1)
+		prefix := []int{-7}
+		got := r.AppendSampleSparse(n, k, prefix)
+		if len(got) != 1+k || got[0] != -7 {
+			t.Fatalf("n=%d k=%d: result %v clobbered dst", n, k, got)
+		}
+		seen := map[int]bool{}
+		for _, v := range got[1:] {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("n=%d k=%d: bad or repeated value %d in %v", n, k, v, got)
+			}
+			seen[v] = true
+		}
+	}
+
+	a := New(9).AppendSampleSparse(1000, 20, nil)
+	b := New(9).AppendSampleSparse(1000, 20, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same stream drew different sparse samples")
+		}
+	}
+}
+
+// TestSampleSparseUniform: over many draws every element of [0, n) is
+// selected at close to the expected k/n rate.
+func TestSampleSparseUniform(t *testing.T) {
+	const n, k, trials = 20, 5, 20000
+	r := New(3)
+	counts := make([]int, n)
+	var buf []int
+	for i := 0; i < trials; i++ {
+		buf = r.AppendSampleSparse(n, k, buf[:0])
+		for _, v := range buf {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n)
+	for v, c := range counts {
+		if diff := float64(c) - want; diff > want*0.06 || diff < -want*0.06 {
+			t.Fatalf("element %d drawn %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestSampleSparsePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n did not panic")
+		}
+	}()
+	New(1).AppendSampleSparse(3, 4, nil)
+}
