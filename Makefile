@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench tcastbench bench-smoke bench-obs bench-faults bench-scale baseline figs lab cover fuzz clean
+.PHONY: all build test race lint bench tcastbench bench-smoke bench-obs bench-faults bench-scale bench-serve serve-smoke baseline figs lab cover fuzz clean
 
 all: build test
 
@@ -55,6 +55,17 @@ bench-faults:
 # column is the flat-in-N claim the CI memory gate enforces.
 bench-scale:
 	$(GO) run ./cmd/tcastbench -run query-2tbins-scale -out /dev/null
+
+# The serving trio: waves of 1/8/64 concurrent sessions through a
+# serve.Pool sharing one field — queries/sec and p99 session latency of
+# the tcastd scheduling core.
+bench-serve:
+	$(GO) run ./cmd/tcastbench -run serve-2tbins -out /dev/null
+
+# Boot tcastd on an ephemeral port, fire concurrent queries at it, scrape
+# the ops endpoints and drain it — the CI serving smoke, runnable locally.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # Regenerate the committed perf baseline. Run the full suite on a quiet
 # machine, eyeball the diff against the previous baseline, and commit the

@@ -28,14 +28,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"tcast/internal/audit"
 	"tcast/internal/baseline"
@@ -50,6 +53,7 @@ import (
 	"tcast/internal/query"
 	"tcast/internal/radio"
 	"tcast/internal/rng"
+	"tcast/internal/serve"
 	"tcast/internal/trace"
 )
 
@@ -84,6 +88,12 @@ type Result struct {
 	// per op through experiment.RunTrials at full worker parallelism):
 	// 1e9/ns_op, the pool's aggregate trial throughput.
 	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+	// QueriesPerSec and P99LatencyNs are set on the serving benchmarks
+	// (one op = one wave of c concurrent sessions through a serve.Pool):
+	// aggregate query throughput derived from ns/op, and the
+	// 99th-percentile session wall latency of a fixed measurement run.
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	P99LatencyNs  float64 `json:"p99_latency_ns,omitempty"`
 }
 
 // File is the whole BENCH.json document.
@@ -109,6 +119,10 @@ type bench struct {
 	// they report TrialsPerSec so bare/traced/audited throughput lines up
 	// side by side (see `make bench-obs`).
 	perTrial bool
+	// extra, when set, runs after the timed and traced passes to fill
+	// benchmark-specific Result fields (the serving trio's queries/sec
+	// and p99 latency).
+	extra func(r *Result) error
 }
 
 func main() {
@@ -258,11 +272,19 @@ func runBenches(short bool, filter, faultSpec string, bus *obs.Bus) File {
 		if b.perTrial && r.NsOp > 0 {
 			r.TrialsPerSec = 1e9 / r.NsOp
 		}
+		if b.extra != nil {
+			if err := b.extra(&r); err != nil {
+				fatal(fmt.Errorf("%s: extra pass: %w", b.name, err))
+			}
+		}
 		f.Benchmarks = append(f.Benchmarks, r)
 		line := fmt.Sprintf("%-24s %12.0f ns/op %8d allocs/op %12.0f polls/s %12.0f vslots/s",
 			r.Name, r.NsOp, r.AllocsOp, r.PollsPerSec, r.VirtualSlotsPerSec)
 		if r.TrialsPerSec > 0 {
 			line += fmt.Sprintf(" %10.0f trials/s", r.TrialsPerSec)
+		}
+		if r.QueriesPerSec > 0 {
+			line += fmt.Sprintf(" %10.0f queries/s p99=%.0fus", r.QueriesPerSec, r.P99LatencyNs/1e3)
 		}
 		if bus != nil {
 			bus.Publish(obs.Event{
@@ -444,7 +466,100 @@ func benches(faultSpec string) []bench {
 	)
 	out = append(out, scaleBenches()...)
 	out = append(out, sparseBenches()...)
+	out = append(out, serveBenches()...)
 	return out
+}
+
+// serveBenches is the serving trio: one op is one wave of c concurrent
+// 2tBins sessions through a serve.Pool sharing a single field (so every
+// session pays the deterministic virtual-slot contention price). The
+// deltas across c=1/8/64 are the scheduler's real-time cost under
+// contention; QueriesPerSec is the daemon-side throughput and
+// P99LatencyNs the tail session latency of a fixed 256-session run.
+func serveBenches() []bench {
+	var out []bench
+	for _, c := range []int{1, 8, 64} {
+		out = append(out, serveBench(c))
+	}
+	return out
+}
+
+func serveBench(conc int) bench {
+	const n, t, x = 128, 16, 16
+	poolCfg := serve.Config{
+		Fields: 1, MaxActive: conc,
+		// Admission slots release after Done() fires, so the next wave can
+		// briefly overlap the previous one's teardown: size the queue and
+		// the per-client bound to absorb two full waves.
+		MaxQueue: 2 * conc, MaxPerClient: 4 * conc,
+		MaxHistory: 1,
+	}
+	wave := func(p *serve.Pool, seed uint64, lat []time.Duration) ([]time.Duration, error) {
+		subs := make([]*serve.Session, conc)
+		for j := range subs {
+			s, err := p.Submit(serve.Spec{
+				N: n, T: t, X: x, Alg: "2tbins",
+				Seed: seed + uint64(j), Field: 0,
+			}, "bench")
+			if err != nil {
+				return lat, err
+			}
+			subs[j] = s
+		}
+		for _, s := range subs {
+			<-s.Done()
+			if _, err := s.Result(); err != nil {
+				return lat, err
+			}
+			if lat != nil {
+				lat = append(lat, s.Wall())
+			}
+		}
+		return lat, nil
+	}
+	return bench{
+		name:  fmt.Sprintf("serve-2tbins-c%d", conc),
+		short: true,
+		fn: func(b *testing.B) {
+			p := serve.NewPool(poolCfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wave(p, uint64(i*conc)+1, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := p.Drain(ctx); err != nil {
+				b.Fatal(err)
+			}
+		},
+		extra: func(r *Result) error {
+			if r.NsOp > 0 {
+				r.QueriesPerSec = float64(conc) * 1e9 / r.NsOp
+			}
+			// Dedicated tail-latency run: 256 sessions in waves of conc.
+			p := serve.NewPool(poolCfg)
+			waves := (256 + conc - 1) / conc
+			lat := make([]time.Duration, 0, waves*conc)
+			var err error
+			for w := 0; w < waves; w++ {
+				if lat, err = wave(p, uint64(w*conc)+1, lat); err != nil {
+					return err
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := p.Drain(ctx); err != nil {
+				return err
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			r.P99LatencyNs = float64(lat[(len(lat)*99+99)/100-1])
+			return nil
+		},
+	}
 }
 
 // trialState is the pooled per-trial scratch of the trial benchmarks — the

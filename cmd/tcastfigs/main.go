@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -90,7 +91,18 @@ func main() {
 		fatal(err)
 	}
 	if *metricsAddr != "" {
-		obs.Serve(*metricsAddr, reg, plane)
+		srv, err := obs.Serve(*metricsAddr, reg, plane)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "tcastfigs: serving metrics on", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "tcastfigs: metrics server:", err)
+			}
+		}()
 		// Runtime attribution (goroutines, heap, GC) is sampled only while
 		// live-serving, so file-dumped registries stay wall-clock-free.
 		stopSampler := obs.StartRuntimeSampler(reg, 0)

@@ -193,13 +193,11 @@ func TextHandler(r *Registry) http.Handler {
 	})
 }
 
-// Serve exposes the registry's Prometheus endpoint at addr/metrics in a
-// background goroutine, returning the listener error channel. Intended for
-// the cmd tools' -metrics-addr flag.
-func Serve(addr string, r *Registry) <-chan error {
-	errc := make(chan error, 1)
+// Serve exposes the registry's Prometheus endpoint at addr/metrics on a
+// managed background server (explicit bind, header timeout, graceful
+// Shutdown — see Server). Intended for the cmd tools' -metrics-addr flag.
+func Serve(addr string, r *Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
-	go func() { errc <- http.ListenAndServe(addr, mux) }()
-	return errc
+	return StartServer(addr, mux)
 }

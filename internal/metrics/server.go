@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the one managed HTTP server every serving path in the
+// repository uses — the cmds' -metrics-addr endpoint, the obs plane's
+// event/SLO mux, and the tcastd daemon. It exists because a bare
+// http.ListenAndServe has three lifecycle defects for our use:
+//
+//   - no ReadHeaderTimeout, so one slow client header holds a connection
+//     goroutine forever (slowloris);
+//   - no way to learn the bound address, so ":0" — the only sane listen
+//     address in tests and CI — is unusable;
+//   - no Shutdown path, so the listener goroutine leaks past the caller's
+//     exit and in-flight responses are cut off mid-write.
+//
+// StartServer listens explicitly, serves in a background goroutine, and
+// exposes the bound address and a context-driven graceful Shutdown.
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	errc chan error
+}
+
+// readHeaderTimeout bounds how long a client may dribble request headers
+// before the connection is dropped.
+const readHeaderTimeout = 10 * time.Second
+
+// StartServer binds addr (host:port; ":0" picks a free port), starts
+// serving h in a background goroutine, and returns the managed server.
+// The bind itself is synchronous so an unusable address fails here, not
+// later on the error channel.
+func StartServer(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: readHeaderTimeout,
+		},
+		ln:   ln,
+		errc: make(chan error, 1),
+	}
+	go func() {
+		err := s.srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		s.errc <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address — the resolved port when the
+// caller asked for ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Err reports the serve loop's terminal error: it receives exactly one
+// value, nil after a clean Shutdown. Callers that only want to notice a
+// dead listener can select on it.
+func (s *Server) Err() <-chan error { return s.errc }
+
+// Shutdown gracefully drains the server: the listener closes immediately,
+// in-flight requests run to completion (or until ctx expires), and the
+// serve goroutine is reaped. It returns the first failure from either the
+// drain or the serve loop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if serveErr := <-s.errc; err == nil {
+		err = serveErr
+	}
+	return err
+}

@@ -4,23 +4,32 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"tcast/internal/metrics"
 )
 
 // HealthzHandler answers load-balancer-style health probes: 200 "ok"
 // while every SLO rule passes (or when no engine is configured), 503
-// with the failing rule names otherwise.
+// with the failing rule names otherwise. Status and the failing list are
+// derived from one Report snapshot — separate Healthy()/Report() calls
+// could interleave with a rule transition and yield a 503 naming zero
+// failing rules.
 func HealthzHandler(s *SLO) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if s == nil || s.Healthy() {
+		if s == nil {
+			w.Write([]byte("ok\n"))
+			return
+		}
+		rep := s.Report()
+		if rep.Healthy {
 			w.Write([]byte("ok\n"))
 			return
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)
 		w.Write([]byte("failing\n"))
-		for _, r := range s.Report().Rules {
+		for _, r := range rep.Rules {
 			if !r.Healthy {
 				w.Write([]byte(r.Rule + "\n"))
 			}
@@ -78,54 +87,99 @@ func (s *sseSink) OnEvent(e Event) {
 	}
 }
 
+// sseTickInterval paces the stream's liveness writes: pending gap
+// reports flush and idle connections get a `: keep-alive` comment so
+// buffering proxies don't reap them.
+const sseTickInterval = 15 * time.Second
+
 // EventsHandler streams bus events as server-sent events: one
 // `event: <kind>` / `data: <json>` record per published event, plus
-// `event: dropped` records when the client falls behind. The
-// subscription lasts until the client disconnects.
+// `event: dropped` records when the client falls behind. Gap reports are
+// written both after each delivered event and on a ticker — without the
+// ticker, a client that falls behind on a bus that then goes quiet would
+// never learn it lost events, because the gap record only rode along
+// with the *next* delivery. Idle ticks with no pending gap write a
+// `: keep-alive` comment instead. The subscription lasts until the
+// client disconnects.
 func EventsHandler(b *Bus, dropped *metrics.Counter) http.Handler {
+	return eventsHandler(b, dropped, sseTickInterval)
+}
+
+// eventsHandler is EventsHandler with the tick interval injectable for
+// tests.
+func eventsHandler(b *Bus, dropped *metrics.Counter, tick time.Duration) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		flusher, ok := w.(http.Flusher)
-		if !ok {
-			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "text/event-stream")
-		w.Header().Set("Cache-Control", "no-cache")
-		w.WriteHeader(http.StatusOK)
-		flusher.Flush()
 		sink := &sseSink{ch: make(chan Event, sseBuffer), total: dropped}
-		b.Subscribe(sink)
-		defer b.Unsubscribe(sink)
-		var reported uint64
-		for {
-			select {
-			case <-r.Context().Done():
-				return
-			case e := <-sink.ch:
-				line, err := EncodeEvent(e)
-				if err != nil {
-					continue
-				}
-				if _, err := w.Write([]byte("event: " + e.Kind.String() + "\ndata: ")); err != nil {
-					return
-				}
-				if _, err := w.Write(line); err != nil {
-					return
-				}
-				if _, err := w.Write([]byte("\n\n")); err != nil {
-					return
-				}
-				if d := sink.dropped.Load(); d > reported {
-					if _, err := w.Write([]byte("event: dropped\ndata: {\"dropped\":" +
-						uintString(d-reported) + "}\n\n")); err != nil {
-						return
-					}
-					reported = d
-				}
-				flusher.Flush()
-			}
-		}
+		streamSSE(w, r, b, sink, tick)
 	})
+}
+
+// streamSSE runs one /events subscription over sink until the client
+// disconnects. Split from eventsHandler so tests can inject a sink that
+// already recorded drops.
+func streamSSE(w http.ResponseWriter, r *http.Request, b *Bus, sink *sseSink, tick time.Duration) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	b.Subscribe(sink)
+	defer b.Unsubscribe(sink)
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	var reported uint64
+	// reportGap writes an `event: dropped` record covering every drop
+	// not yet reported; it returns false when the client is gone.
+	reportGap := func() bool {
+		d := sink.dropped.Load()
+		if d <= reported {
+			return true
+		}
+		if _, err := w.Write([]byte("event: dropped\ndata: {\"dropped\":" +
+			uintString(d-reported) + "}\n\n")); err != nil {
+			return false
+		}
+		reported = d
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e := <-sink.ch:
+			line, err := EncodeEvent(e)
+			if err != nil {
+				continue
+			}
+			if _, err := w.Write([]byte("event: " + e.Kind.String() + "\ndata: ")); err != nil {
+				return
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("\n\n")); err != nil {
+				return
+			}
+			if !reportGap() {
+				return
+			}
+			flusher.Flush()
+		case <-ticker.C:
+			d := sink.dropped.Load()
+			if d > reported {
+				if !reportGap() {
+					return
+				}
+			} else if _, err := w.Write([]byte(": keep-alive\n\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
 }
 
 // uintString formats without strconv import churn at call sites.
@@ -162,11 +216,11 @@ func NewMux(reg *metrics.Registry, p *Plane) *http.ServeMux {
 	return mux
 }
 
-// Serve exposes NewMux at addr in a background goroutine, returning the
-// listener error channel — the obs-aware superset of metrics.Serve,
-// behind the cmds' -metrics-addr flag.
-func Serve(addr string, reg *metrics.Registry, p *Plane) <-chan error {
-	errc := make(chan error, 1)
-	go func() { errc <- http.ListenAndServe(addr, NewMux(reg, p)) }()
-	return errc
+// Serve exposes NewMux at addr on a managed background server — the
+// obs-aware superset of metrics.Serve, behind the cmds' -metrics-addr
+// flag. The returned server carries the bound address (so ":0" is
+// testable) and a graceful Shutdown the cmds call on exit instead of
+// leaking the listener goroutine.
+func Serve(addr string, reg *metrics.Registry, p *Plane) (*metrics.Server, error) {
+	return metrics.StartServer(addr, NewMux(reg, p))
 }

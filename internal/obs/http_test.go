@@ -174,3 +174,83 @@ func TestNewMuxRoutes(t *testing.T) {
 		t.Fatalf("/slo: %d\n%s", rec.Code, rec.Body.String())
 	}
 }
+
+// TestEventsTickerKeepAlive verifies an idle stream emits `: keep-alive`
+// comments on the ticker, so buffering proxies don't reap quiet
+// subscriptions.
+func TestEventsTickerKeepAlive(t *testing.T) {
+	bus := NewBus()
+	srv := httptest.NewServer(eventsHandler(bus, nil, 10*time.Millisecond))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	got := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); line != "" {
+				got <- line
+				return
+			}
+		}
+	}()
+	select {
+	case line := <-got:
+		if line != ": keep-alive" {
+			t.Fatalf("first idle line = %q, want keep-alive comment", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no keep-alive on an idle stream")
+	}
+}
+
+// TestEventsTickerGapReport verifies a client that fell behind on a bus
+// that then went quiet still learns it lost events: the gap record is
+// pushed on the ticker, not only after the next delivery.
+func TestEventsTickerGapReport(t *testing.T) {
+	bus := NewBus()
+	sink := &sseSink{ch: make(chan Event, sseBuffer)}
+	// The backlog overflowed before the stream started and the bus is now
+	// quiet — the pre-ticker handler would never report these drops.
+	sink.dropped.Store(7)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		streamSSE(w, r, bus, sink, 10*time.Millisecond)
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type record struct{ event, data string }
+	got := make(chan record, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		var event string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				got <- record{event, strings.TrimPrefix(line, "data: ")}
+				return
+			}
+		}
+	}()
+	select {
+	case rec := <-got:
+		if rec.event != "dropped" || rec.data != `{"dropped":7}` {
+			t.Fatalf("gap record = %+v", rec)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no gap report on a quiet bus")
+	}
+}

@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tcast/internal/audit"
+	"tcast/internal/core"
+	"tcast/internal/fastsim"
+	"tcast/internal/faults"
+	"tcast/internal/metrics"
+	"tcast/internal/obs"
+	"tcast/internal/query"
+	"tcast/internal/rng"
+)
+
+// Spec is one query session's resolved parameters — the wire request
+// after defaulting and validation. Seed and Trial fix the session's
+// entire random draw: the daemon derives its RNG exactly the way
+// tcastsim derives trial Trial of a -seed Seed sweep, so any served
+// session can be replayed offline.
+type Spec struct {
+	N     int    `json:"n"`
+	T     int    `json:"t"`
+	X     int    `json:"x"`
+	Alg   string `json:"alg"`
+	Model string `json:"model"`
+	Seed  uint64 `json:"seed"`
+	Trial int    `json:"trial"`
+	// Field pins the session to one field of the pool; -1 (the wire
+	// default) lets the pool round-robin.
+	Field int `json:"field"`
+	// Faults is a fault-injection spec (faults.ParseSpec syntax), applied
+	// below the medium like tcastsim's -faults.
+	Faults string `json:"faults,omitempty"`
+	// Retries/Backoff configure the initiator retry middleware.
+	Retries int `json:"retries,omitempty"`
+	Backoff int `json:"backoff,omitempty"`
+	// Audit grades the session against ground truth (audit.Verdict
+	// outcome on the result and the obs verdict stream).
+	Audit bool `json:"audit,omitempty"`
+}
+
+// State is a session's lifecycle position.
+type State int32
+
+const (
+	// StateQueued: admitted, waiting for a scheduler slot on its field.
+	StateQueued State = iota
+	// StateRunning: scheduled on the field's medium.
+	StateRunning
+	// StateDone: finished with a result.
+	StateDone
+	// StateFailed: finished with an error (round limit, bad stack).
+	StateFailed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Terminal reports whether the session has finished either way.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Result is one finished session's verdict and slot ledger. The virtual
+// prices split three ways: SessionSlots is the initiator's own cost in
+// the paper's model — byte-identical to the same seed run through
+// tcastsim, contention cannot change it. MediumSlots is the session's
+// occupancy of the shared medium and WaitedSlots the slots it spent
+// blocked behind other initiators' transmissions; Span = End - Start is
+// the honest end-to-end price of running under contention.
+type Result struct {
+	Decision  bool   `json:"decision"`
+	Truth     bool   `json:"truth"`
+	Correct   bool   `json:"correct"`
+	Outcome   string `json:"outcome"`
+	Polls     int    `json:"polls"`
+	Rounds    int    `json:"rounds"`
+	Confirmed int    `json:"confirmed,omitempty"`
+
+	SessionSlots int64 `json:"session_slots"`
+	MediumSlots  int64 `json:"medium_slots"`
+	WaitedSlots  int64 `json:"waited_slots"`
+	StartSlot    int64 `json:"start_slot"`
+	EndSlot      int64 `json:"end_slot"`
+	SpanSlots    int64 `json:"span_slots"`
+}
+
+// Session is one admitted query: the scheduler's ledger fields, the
+// goroutine's execution state, and the completion signal.
+type Session struct {
+	ID     string
+	Client string
+	Spec   Spec
+
+	seq   uint64
+	field *Field
+
+	// grant delivers the scheduler's transmit permission; lastCost
+	// carries the previous poll's slots into the next park event.
+	grant    chan int64
+	lastCost int64
+
+	// Scheduler-owned virtual-time ledger (only the field loop writes
+	// these after arrival).
+	readyAt   int64
+	startSlot int64
+	waited    int64
+	ownSlots  int64
+
+	// Written by the session goroutine before evDone, read by finish.
+	res        core.Result
+	truth      bool
+	chainSlots int64
+	verdict    *audit.Verdict
+	chain      query.Querier
+	runErr     error
+
+	state     atomic.Int32
+	result    *Result
+	wall      time.Duration
+	submitted time.Time
+	done      chan struct{}
+}
+
+// State returns the session's lifecycle position.
+func (s *Session) State() State { return State(s.state.Load()) }
+
+// Done is closed when the session reaches a terminal state.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Result returns the finished session's result, or the run error. It
+// must only be consulted after Done() (or a Terminal state).
+func (s *Session) Result() (*Result, error) {
+	if !s.State().Terminal() {
+		return nil, fmt.Errorf("serve: session %s still %s", s.ID, s.State())
+	}
+	return s.result, s.runErr
+}
+
+// Wall returns the submitted→finished wall-clock latency; valid once
+// terminal.
+func (s *Session) Wall() time.Duration { return s.wall }
+
+// label names the session on the obs bus.
+func (s *Session) label() string {
+	return fmt.Sprintf("%s/%s/seed=%d", s.ID, s.Spec.Alg, s.Spec.Seed)
+}
+
+// Status is the session's wire shape for GET /query/{id}.
+type Status struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Spec      Spec    `json:"spec"`
+	Result    *Result `json:"result,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+}
+
+// Status snapshots the session for serving.
+func (s *Session) Status() Status {
+	st := Status{ID: s.ID, State: s.State().String(), Spec: s.Spec}
+	if st.State == StateDone.String() {
+		st.Result = s.result
+		st.ElapsedMs = float64(s.wall) / 1e6
+	}
+	if st.State == StateFailed.String() {
+		st.Error = s.runErr.Error()
+		st.ElapsedMs = float64(s.wall) / 1e6
+	}
+	return st
+}
+
+// resolveSpec fills defaults and validates a submission.
+func (p *Pool) resolveSpec(spec Spec) (Spec, error) {
+	d := p.cfg.Defaults
+	if spec.N == 0 {
+		spec.N = d.N
+	}
+	if spec.T == 0 {
+		spec.T = d.T
+	}
+	if spec.Alg == "" {
+		spec.Alg = d.Alg
+	}
+	if spec.Model == "" {
+		spec.Model = d.Model
+	}
+	if spec.N <= 0 || spec.N > p.cfg.MaxN {
+		return spec, fmt.Errorf("serve: n=%d outside [1,%d]", spec.N, p.cfg.MaxN)
+	}
+	if spec.X < 0 || spec.X > spec.N {
+		return spec, fmt.Errorf("serve: x=%d outside [0,%d]", spec.X, spec.N)
+	}
+	if spec.T < 1 || spec.T > spec.N {
+		return spec, fmt.Errorf("serve: t=%d outside [1,%d]", spec.T, spec.N)
+	}
+	if spec.Trial < 0 {
+		return spec, fmt.Errorf("serve: trial=%d negative", spec.Trial)
+	}
+	if spec.Retries < 0 || spec.Backoff < 0 {
+		return spec, fmt.Errorf("serve: negative retry policy")
+	}
+	if spec.Model != "1+" && spec.Model != "2+" {
+		return spec, fmt.Errorf("serve: unknown model %q", spec.Model)
+	}
+	if _, _, err := algorithmFor(spec.Alg); err != nil {
+		return spec, err
+	}
+	if _, err := faults.ParseSpec(spec.Faults); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// algorithmFor maps a wire algorithm name to its factory — the same
+// families tcastsim's -alg accepts, minus the contention-free baselines
+// (csma/seq poll no groups, so they have nothing to schedule on the
+// medium).
+func algorithmFor(name string) (func(*fastsim.Channel) core.Algorithm, string, error) {
+	plain := func(a core.Algorithm) func(*fastsim.Channel) core.Algorithm {
+		return func(*fastsim.Channel) core.Algorithm { return a }
+	}
+	switch name {
+	case "2tbins":
+		return plain(core.TwoTBins{}), "2tBins", nil
+	case "exp":
+		return plain(core.ExpIncrease{}), "ExpIncrease", nil
+	case "abns-t":
+		return plain(core.ABNS{P0: 1}), "ABNS(p0=t)", nil
+	case "abns-2t":
+		return plain(core.ABNS{P0: 2}), "ABNS(p0=2t)", nil
+	case "probabns":
+		return plain(core.ProbABNS{}), "ProbABNS", nil
+	case "oracle":
+		return func(ch *fastsim.Channel) core.Algorithm { return core.Oracle{Truth: ch} }, "Oracle", nil
+	default:
+		return nil, "", fmt.Errorf("serve: unknown algorithm %q (want 2tbins|exp|abns-t|abns-2t|probabns|oracle)", name)
+	}
+}
+
+// run is the session goroutine: acquire a scheduler slot (queueing when
+// the field is at MaxActive), announce arrival, execute the query, and
+// report completion to the scheduler, which prices and finishes it.
+func (s *Session) run() {
+	f := s.field
+	p := f.pool
+	defer p.wg.Done()
+	select {
+	case <-f.tokens:
+	default:
+		f.queued.Add(1)
+		p.updateGauges()
+		<-f.tokens
+		f.queued.Add(-1)
+	}
+	f.active.Add(1)
+	p.updateGauges()
+	s.state.Store(int32(StateRunning))
+	obs.PublishSessionStart(p.cfg.Bus, s.label(), s.Spec.Trial)
+	f.events <- schedEvent{kind: evArrive, s: s}
+	s.runErr = s.execute()
+	f.events <- schedEvent{kind: evDone, s: s, cost: s.lastCost}
+	<-s.done
+	f.active.Add(-1)
+	p.updateGauges()
+	f.tokens <- struct{}{}
+	p.release(s)
+}
+
+// execute builds the session's querier stack and runs the algorithm.
+// The derivation mirrors tcastsim's sweep driver exactly — root
+// rng.New(Seed), per-trial SplitInto(Trial), channel from Split(1),
+// faults from Split(9), algorithm from Split(2) — with the medium
+// wrapper (randomness-free, response-preserving) spliced between the
+// substrate and the retry layer. A served session's verdict and
+// SessionSlots are therefore byte-identical to trial Trial of
+// `tcastsim -seed Seed` with the same parameters.
+func (s *Session) execute() error {
+	sp := s.Spec
+	p := s.field.pool
+	cfg := fastsim.DefaultConfig()
+	if sp.Model == "2+" {
+		cfg = fastsim.TwoPlusConfig()
+	}
+	fac, _, err := algorithmFor(sp.Alg)
+	if err != nil {
+		return err
+	}
+	fcfg, err := faults.ParseSpec(sp.Faults)
+	if err != nil {
+		return err
+	}
+	root := rng.New(sp.Seed)
+	var src rng.Source
+	root.SplitInto(uint64(sp.Trial), &src)
+	ch, _ := fastsim.RandomPositives(sp.N, sp.X, cfg, src.Split(1))
+	alg := fac(ch)
+	var sub query.Querier = ch
+	if fcfg.Active() {
+		sub = faults.New(sub, fcfg, sp.N, src.Split(9))
+	}
+	sub = newMediumQuerier(sub, s)
+	sub = query.WithRetry(sub, query.RetryPolicy{MaxRetries: sp.Retries, Backoff: sp.Backoff})
+	q := metrics.Wrap(sub, p.cfg.Registry)
+	var aud *audit.Auditor
+	if sp.Audit {
+		aud, err = audit.New(q, audit.Config{N: sp.N, T: sp.T, Metrics: p.cfg.Registry})
+		if err != nil {
+			return err
+		}
+		q = aud
+	}
+	if p.cfg.Bus != nil {
+		q = obs.NewPublisher(q, p.cfg.Bus, s.label(), sp.Trial)
+	}
+	s.chain = q
+	res, err := alg.Run(q, sp.N, sp.T, src.Split(2))
+	if err != nil {
+		return err
+	}
+	s.res = res
+	s.truth = sp.X >= sp.T
+	s.chainSlots = obs.ChainSlots(q, res.Queries)
+	if aud != nil {
+		v := aud.Finish(res.Decision)
+		s.verdict = &v
+	}
+	metrics.FinishSession(q)
+	return nil
+}
+
+// finish runs on the field's scheduler goroutine once the session's
+// evDone is processed: it assembles the result from the algorithm's
+// outcome and the scheduler's ledger, publishes the verdict onto the obs
+// bus (in scheduler order, so event streams are as deterministic as the
+// schedule), records metrics, and releases waiters.
+func (s *Session) finish(end int64) {
+	p := s.field.pool
+	s.wall = time.Since(s.submitted)
+	bus := p.cfg.Bus
+	if s.runErr == nil {
+		r := &Result{
+			Decision:  s.res.Decision,
+			Truth:     s.truth,
+			Polls:     s.res.Queries,
+			Rounds:    s.res.Rounds,
+			Confirmed: s.res.Confirmed,
+
+			SessionSlots: s.chainSlots,
+			MediumSlots:  s.ownSlots,
+			WaitedSlots:  s.waited,
+			StartSlot:    s.startSlot,
+			EndSlot:      end,
+			SpanSlots:    end - s.startSlot,
+		}
+		if s.verdict != nil {
+			r.Correct = s.verdict.Correct()
+			r.Outcome = s.verdict.Outcome.String()
+		} else {
+			r.Correct = s.res.Decision == s.truth
+			r.Outcome = audit.OutcomeCorrect.String()
+			if !r.Correct {
+				r.Outcome = audit.OutcomeWrongUnattributed.String()
+			}
+		}
+		s.result = r
+		if p.sessionCtr != nil {
+			if r.Correct {
+				p.sessionCtr("correct")
+			} else {
+				p.sessionCtr("wrong")
+			}
+		}
+		if p.latencyH != nil {
+			p.latencyH.Observe(float64(s.wall))
+		}
+		s.state.Store(int32(StateDone))
+	} else {
+		if p.sessionCtr != nil {
+			p.sessionCtr("error")
+		}
+		s.state.Store(int32(StateFailed))
+	}
+	if bus != nil {
+		label := s.label()
+		obs.PublishChainEvents(bus, label, s.Spec.Trial, s.chain)
+		switch {
+		case s.runErr != nil:
+		case s.verdict != nil:
+			obs.PublishVerdict(bus, label, s.Spec.Trial, *s.verdict, s.chainSlots, s.chain)
+		default:
+			obs.PublishDecision(bus, label, s.Spec.Trial, s.res.Decision, s.truth, s.res.Queries, s.chainSlots)
+		}
+	}
+	close(s.done)
+}

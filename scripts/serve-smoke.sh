@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Serving smoke: boot tcastd on an ephemeral port, fire concurrent
+# queries at it, scrape the ops endpoints, then drain it gracefully.
+# Exercised by CI (see .github/workflows/ci.yml) and `make serve-smoke`.
+set -eu
+
+WORK=$(mktemp -d)
+DPID=''
+trap '[ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/tcastd" ./cmd/tcastd
+
+"$WORK/tcastd" -addr 127.0.0.1:0 -addr-file "$WORK/tcastd.addr" \
+	-fields 2 -slo 'minacc=0.99,window=100' &
+DPID=$!
+
+# Wait for the daemon to publish its bound address.
+i=0
+while [ ! -s "$WORK/tcastd.addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "serve-smoke: tcastd never published its address" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+ADDR=$(cat "$WORK/tcastd.addr")
+echo "serve-smoke: tcastd on $ADDR"
+
+# 16 concurrent audited queries, each blocking for its verdict.
+seq 1 16 | xargs -P 16 -I{} \
+	curl -sf -X POST "http://$ADDR/query?wait=1" \
+	-d '{"n":128,"t":16,"x":20,"seed":{},"audit":true}' -o /dev/null
+echo "serve-smoke: 16 concurrent queries served"
+
+# One query through the async path: submit, read status, stream verdict.
+ID=$(curl -sf -X POST "http://$ADDR/query" -d '{"x":20,"seed":99}' |
+	sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+curl -sf "http://$ADDR/query/$ID" > /dev/null
+curl -sf -m 10 "http://$ADDR/query/$ID/events" | grep -q 'event: verdict'
+echo "serve-smoke: async lifecycle ok ($ID)"
+
+# Ops plane: health, SLO report, field clocks, serving metrics.
+curl -sf "http://$ADDR/healthz" | grep -q ok
+curl -sf "http://$ADDR/slo" | grep -q '"healthy": true'
+curl -sf "http://$ADDR/fields" | grep -q '"served"'
+curl -sf "http://$ADDR/metrics" | grep -q 'serve_sessions_total{outcome="correct"} 17'
+echo "serve-smoke: ops endpoints ok"
+
+# Graceful drain: SIGTERM, daemon exits 0.
+kill -TERM "$DPID"
+wait "$DPID"
+echo "serve-smoke: drained cleanly"
